@@ -1,0 +1,53 @@
+//! Native throughput of the four ciphers — the modern rerun of the
+//! paper's §3.1 numbers (on a 1995 SPARCstation 10: DES 0.5 Mbps,
+//! SAFER K-64 one-round 25 Mbps, their simplified SAFER ~50 Mbps). The
+//! *ratios* are the point: the paper's argument for simplifying SAFER
+//! rests on DES being ~100× slower than the simplified variant.
+
+use cipher::{encrypt_buf, Des, SaferK64, SimplifiedSafer, VerySimple};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memsim::{AddressSpace, Mem, NativeMem};
+
+const LEN: usize = 8 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let mut space = AddressSpace::new();
+    let simplified = SimplifiedSafer::alloc(&mut space);
+    let simple = VerySimple::alloc(&mut space);
+    let safer1 = SaferK64::alloc(&mut space, 1);
+    let safer6 = SaferK64::alloc(&mut space, 6);
+    let des = Des::alloc(&mut space);
+    let src = space.alloc("src", LEN, 64);
+    let dst = space.alloc("dst", LEN, 64);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    simplified.init(&mut m, *b"benchkey");
+    safer1.init(&mut m, *b"benchkey");
+    safer6.init(&mut m, *b"benchkey");
+    des.init(&mut m, 0x1334_5779_9BBC_DFF1);
+    for i in 0..LEN {
+        m.write_u8(src.at(i), (i * 31) as u8);
+    }
+
+    let mut group = c.benchmark_group("cipher_encrypt");
+    group.throughput(Throughput::Bytes(LEN as u64));
+    group.bench_function("very_simple", |b| {
+        b.iter(|| encrypt_buf(&simple, &mut m, src.base, dst.base, LEN))
+    });
+    group.bench_function("simplified_safer", |b| {
+        b.iter(|| encrypt_buf(&simplified, &mut m, src.base, dst.base, LEN))
+    });
+    group.bench_function("safer_k64_1round", |b| {
+        b.iter(|| encrypt_buf(&safer1, &mut m, src.base, dst.base, LEN))
+    });
+    group.bench_function("safer_k64_6rounds", |b| {
+        b.iter(|| encrypt_buf(&safer6, &mut m, src.base, dst.base, LEN))
+    });
+    group.bench_function("des", |b| {
+        b.iter(|| encrypt_buf(&des, &mut m, src.base, dst.base, LEN))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion version of the §3.2.1 experiment: statically fused stages
+//! (macro analogue) vs `dyn`-dispatched stages (function-pointer
+//! analogue) vs the layered two-pass implementation, native CPU.
+
+use checksum::internet::checksum_buf;
+use cipher::{encrypt_buf, VerySimple};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ilp_core::{ilp_run, ChecksumTap, DynPipeline, EncryptStage, Fused, LinearSink};
+use memsim::{AddressSpace, Mem, NativeMem};
+use std::hint::black_box;
+use xdr::stream::OpaqueSource;
+
+const LEN: usize = 16 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let mut space = AddressSpace::new();
+    let cipher = VerySimple::alloc(&mut space);
+    let src = space.alloc("src", LEN, 64);
+    let dst = space.alloc("dst", LEN, 64);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    for i in 0..LEN {
+        m.write_u8(src.at(i), (i * 13 + 1) as u8);
+    }
+
+    let mut group = c.benchmark_group("stage_dispatch");
+    group.throughput(Throughput::Bytes(LEN as u64));
+
+    group.bench_function("layered_two_pass", |b| {
+        b.iter(|| {
+            encrypt_buf(&cipher, &mut m, src.base, dst.base, LEN);
+            black_box(checksum_buf(&mut m, dst.base, LEN).finish())
+        })
+    });
+
+    group.bench_function("fused_static", |b| {
+        b.iter(|| {
+            let mut source = OpaqueSource::new(src.base, LEN);
+            let mut stages = Fused::new(EncryptStage::new(cipher), ChecksumTap::new());
+            let mut sink = LinearSink::new(dst.base);
+            ilp_run(&mut m, &mut source, &mut stages, &mut sink, 1, None).unwrap();
+            black_box(stages.b.sum().finish())
+        })
+    });
+
+    group.bench_function("fused_dyn", |b| {
+        b.iter(|| {
+            let mut source = OpaqueSource::new(src.base, LEN);
+            let mut stages: DynPipeline<NativeMem> = DynPipeline::new()
+                .push(Box::new(EncryptStage::new(cipher)))
+                .push(Box::new(ChecksumTap::new()));
+            let mut sink = LinearSink::new(dst.base);
+            black_box(ilp_run(&mut m, &mut source, &mut stages, &mut sink, 1, None).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Cipher-complexity ablation (§2.1/§3.1, after Gunningberg et al.):
+//! as the data-manipulation function gets more expensive, the relative
+//! ILP gain shrinks — DES "can hide totally the ILP performance gain",
+//! which is why the paper had to simplify SAFER K-64 in the first place.
+//!
+//! Four ciphers, 1 kbyte packets, SS10-30: very simple → simplified
+//! SAFER → full SAFER K-64 (6 rounds) → DES. The relative send-side ILP
+//! gain must be monotonically non-increasing along that axis.
+
+use bench::measure::{measure_custom, MeasureCfg, Measurement};
+use bench::report::{banner, gain_pct, pct, us, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+use rpcapp::suite::Suite;
+
+fn main() {
+    banner("cipher ablation", "ILP gain vs data-manipulation complexity (SS10-30, 1 kbyte)");
+    let host = HostModel::ss10_30();
+    let cfg = MeasureCfg::timing(1024);
+
+    let pairs: Vec<(&str, Measurement, Measurement)> = vec![
+        (
+            "very simple",
+            measure_custom(&host, cfg, Path::Ilp, Suite::very_simple),
+            measure_custom(&host, cfg, Path::NonIlp, Suite::very_simple),
+        ),
+        (
+            "simplified SAFER",
+            measure_custom(&host, cfg, Path::Ilp, Suite::simplified),
+            measure_custom(&host, cfg, Path::NonIlp, Suite::simplified),
+        ),
+        (
+            "SAFER K-64 (6r)",
+            measure_custom(&host, cfg, Path::Ilp, |s| Suite::full_safer(s, 6)),
+            measure_custom(&host, cfg, Path::NonIlp, |s| Suite::full_safer(s, 6)),
+        ),
+        (
+            "DES",
+            measure_custom(&host, cfg, Path::Ilp, Suite::des),
+            measure_custom(&host, cfg, Path::NonIlp, Suite::des),
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "cipher", "send nonILP", "send ILP", "send gain", "recv gain", "tput ILP",
+    ]);
+    let mut gains = Vec::new();
+    for (name, ilp, non) in &pairs {
+        let g = gain_pct(non.send_us, ilp.send_us);
+        gains.push(g);
+        table.row(vec![
+            name.to_string(),
+            us(non.send_us),
+            us(ilp.send_us),
+            pct(g),
+            pct(gain_pct(non.recv_us, ilp.recv_us)),
+            format!("{:.2}", ilp.throughput_mbps),
+        ]);
+    }
+    table.print();
+
+    println!("\nrelative send gain along the complexity axis: {}", gains
+        .iter()
+        .map(|g| format!("{g:.0}%"))
+        .collect::<Vec<_>>()
+        .join(" → "));
+    println!("(paper: the gain shrinks as the cipher grows; DES buries it)");
+}

@@ -1,0 +1,96 @@
+//! §3.2.1 — macros vs function calls.
+//!
+//! "Experiments have shown that substituting macros by function calls
+//! results in the loss of all performance benefits gained by ILP in the
+//! first place." The Rust rendition: statically fused stages (generic
+//! monomorphisation — the macro analogue) against the same stages
+//! chained behind `dyn` trait objects (the function-pointer analogue),
+//! against the layered two-pass implementation, all on the **native
+//! CPU** via `NativeMem`.
+//!
+//! The claim under test: layered ≥ dyn-fused ≫ static-fused is the
+//! paper's ordering; in particular the dyn pipeline should give back
+//! most of the fusion gain.
+
+use bench::report::banner;
+use cipher::{encrypt_buf, VerySimple};
+use checksum::internet::checksum_buf;
+use ilp_core::{ilp_run, ChecksumTap, DynPipeline, EncryptStage, Fused, LinearSink, UnitStage};
+use memsim::{AddressSpace, Mem, NativeMem};
+use std::hint::black_box;
+use std::time::Instant;
+use xdr::stream::OpaqueSource;
+
+const LEN: usize = 16 * 1024;
+
+fn time_mbps(label: &str, mut f: impl FnMut()) -> f64 {
+    for _ in 0..20 {
+        f();
+    }
+    let iters = 400u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let mbps = (iters as f64 * LEN as f64 * 8.0) / secs / 1e6;
+    println!("{label:>14}: {mbps:8.0} Mbps");
+    mbps
+}
+
+fn main() {
+    banner("§3.2.1", "macro-style (generic) vs function-call (dyn) stage composition");
+    println!("workload: encrypt (very simple cipher) + checksum over {} KB, native CPU\n", LEN / 1024);
+
+    let mut space = AddressSpace::new();
+    let cipher = VerySimple::alloc(&mut space);
+    let src = space.alloc("src", LEN, 64);
+    let dst = space.alloc("dst", LEN, 64);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    for i in 0..LEN {
+        m.write_u8(src.at(i), (i * 13 + 1) as u8);
+    }
+
+    // Layered: two full passes.
+    let layered = time_mbps("layered", || {
+        encrypt_buf(&cipher, &mut m, src.base, dst.base, LEN);
+        black_box(checksum_buf(&mut m, dst.base, LEN).finish());
+    });
+
+    // Statically fused (the "macro" form): one pass, monomorphised.
+    let fused_static = time_mbps("fused static", || {
+        let mut source = OpaqueSource::new(src.base, LEN);
+        let mut stages = Fused::new(EncryptStage::new(cipher), ChecksumTap::new());
+        let mut sink = LinearSink::new(dst.base);
+        ilp_run(&mut m, &mut source, &mut stages, &mut sink, 1, None).unwrap();
+        black_box(stages.b.sum().finish());
+    });
+
+    // Dyn-fused (the "function pointer" form): one pass, vtable calls.
+    let fused_dyn = time_mbps("fused dyn", || {
+        let mut source = OpaqueSource::new(src.base, LEN);
+        let mut stages: DynPipeline<NativeMem> = DynPipeline::new()
+            .push(Box::new(EncryptStage::new(cipher)))
+            .push(Box::new(ChecksumTap::new()));
+        let mut sink = LinearSink::new(dst.base);
+        ilp_run(&mut m, &mut source, &mut stages, &mut sink, 1, None).unwrap();
+        black_box(UnitStage::<NativeMem>::natural_unit(&stages));
+    });
+
+    println!("\nstatic fusion vs layered: {:+.0}%", 100.0 * (fused_static - layered) / layered);
+    println!("dyn fusion    vs layered: {:+.0}%", 100.0 * (fused_dyn - layered) / layered);
+    println!(
+        "dyn dispatch costs {:.0}% of the static-fused throughput \
+         (paper: function calls lose all of the fusion gain)",
+        100.0 * (fused_static - fused_dyn) / fused_static
+    );
+    if fused_static < layered {
+        println!(
+            "\nnote: on this modern CPU the *layered* two-pass version wins outright — \
+             three decades of cache/bandwidth growth plus the word-at-a-time framework \
+             overhead have inverted the §3.2.1 premise for cheap stages; the tight-loop \
+             §1 microbenchmark (exp_micro) still reproduces the paper's fusion gain."
+        );
+    }
+}

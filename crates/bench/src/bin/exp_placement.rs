@@ -1,0 +1,86 @@
+//! §3.2.2 placement policies.
+//!
+//! *Receive*: manipulating the data "very close to the read system
+//! call" (the default — errors known before TCP control actions) versus
+//! "very close to the application operations" (TCP verifies and ACKs
+//! first, the fused decrypt+unmarshal runs later). The paper measured
+//! the two within ≈5 µs; the late variant pays one extra checksum read
+//! pass here.
+//!
+//! *Send*: when the ring is full, manipulating early into a staging
+//! buffer costs an extra copy later; the paper chose to delay the whole
+//! loop instead. We measure what that extra copy costs.
+
+use bench::report::{banner, us};
+use memsim::{AddressSpace, HostModel, SimMem};
+use rpcapp::msg::ReplyMeta;
+use rpcapp::paths::{
+    pump_acks, recv_reply_ilp, recv_reply_ilp_late, send_reply_ilp, send_reply_ilp_staged,
+};
+use rpcapp::suite::{Suite, SuiteInit};
+
+const CHUNK: usize = 1024;
+const WARM: usize = 8;
+const PACKETS: usize = 60;
+
+/// Measure (send_us, recv_us) for a given pair of send/recv drivers.
+fn run(
+    host: &HostModel,
+    send: fn(&mut Suite<cipher::SimplifiedSafer>, &mut SimMem, &ReplyMeta, usize) -> Result<usize, utcp::SendError>,
+    recv: fn(&mut Suite<cipher::SimplifiedSafer>, &mut SimMem) -> rpcapp::paths::RecvOutcome,
+) -> (f64, f64) {
+    let mut space = AddressSpace::new();
+    let mut suite = Suite::simplified(&mut space);
+    let file = suite.file;
+    let mut m = SimMem::new(&space, host);
+    m.set_region_attribution(false);
+    suite.init_world(&mut m);
+    let mut send_total = memsim::RunStats::default();
+    let mut recv_total = memsim::RunStats::default();
+    let _ = m.take_phase_stats();
+    for i in 0..WARM + PACKETS {
+        let meta = ReplyMeta {
+            request_id: 1,
+            seq: i as u32,
+            offset: ((i * CHUNK) % (8 * 1024)) as u32,
+            last: 0,
+            data_len: CHUNK as u32,
+        };
+        send(&mut suite, &mut m, &meta, file.at(meta.offset as usize)).unwrap();
+        let (send_user, _) = m.take_phase_stats();
+        assert!(matches!(recv(&mut suite, &mut m), Some(Ok(_))));
+        let (recv_user, _) = m.take_phase_stats();
+        pump_acks(&mut suite, &mut m);
+        let (ack_user, _) = m.take_phase_stats();
+        if i >= WARM {
+            send_total.absorb(&send_user);
+            send_total.absorb(&ack_user);
+            recv_total.absorb(&recv_user);
+        }
+    }
+    let n = PACKETS as f64;
+    (
+        host.cost(&send_total).total_us / n + host.per_packet_user_us,
+        host.cost(&recv_total).total_us / n + host.per_packet_user_us,
+    )
+}
+
+fn main() {
+    banner("§3.2.2", "data-manipulation placement policies (SS10-30, 1 kbyte)");
+    let host = HostModel::ss10_30();
+
+    let (send_base, recv_early) = run(&host, send_reply_ilp, recv_reply_ilp);
+    let (_, recv_late) = run(&host, send_reply_ilp, recv_reply_ilp_late);
+    let (send_staged, _) = run(&host, send_reply_ilp_staged, recv_reply_ilp);
+
+    println!("receive placement (paper: within ≈5 µs of each other):");
+    println!("  early (at the read syscall, fused checksum): {} µs", us(recv_early));
+    println!("  late  (at the application, checksum first):  {} µs", us(recv_late));
+    println!("  difference: {:+.0} µs\n", recv_late - recv_early);
+
+    println!("send pre-manipulation when the ring is full (paper: delaying preferred;");
+    println!("early manipulation would save ≈100 µs of latency but costs an extra copy):");
+    println!("  delay whole loop (default): {} µs", us(send_base));
+    println!("  manipulate early + copy:    {} µs", us(send_staged));
+    println!("  extra copy cost: {:+.0} µs", send_staged - send_base);
+}

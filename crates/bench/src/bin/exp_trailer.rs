@@ -1,0 +1,98 @@
+//! §5 future-work ablation: trailers for data-dependent fields.
+//!
+//! "Trailer fields for protocol information dependent on user data could
+//! simplify ILP processing, although trailers make parsing of protocol
+//! information more complex" (§3.1) — and §5 recommends them for future
+//! protocol designs. We implemented the trailer wire format
+//! (`rpcapp::trailer`) and compare it against the paper's
+//! header-with-length format that forces the B→C→A part schedule:
+//! identical payloads, identical stages, only the position of the
+//! length field differs.
+
+use bench::report::{banner, us, Table};
+use memsim::{AddressSpace, HostModel, RunStats, SimMem};
+use rpcapp::msg::ReplyMeta;
+use rpcapp::paths::{pump_acks, recv_reply_ilp, send_reply_ilp};
+use rpcapp::suite::{Suite, SuiteInit};
+use rpcapp::trailer::{recv_reply_ilp_trailer, send_reply_ilp_trailer};
+
+const CHUNK: usize = 1024;
+const WARM: usize = 8;
+const PACKETS: usize = 60;
+
+type SendFn = fn(
+    &mut Suite<cipher::SimplifiedSafer>,
+    &mut SimMem,
+    &ReplyMeta,
+    usize,
+) -> Result<usize, utcp::SendError>;
+type RecvFn = fn(&mut Suite<cipher::SimplifiedSafer>, &mut SimMem) -> rpcapp::paths::RecvOutcome;
+
+fn run(host: &HostModel, send: SendFn, recv: RecvFn) -> (f64, f64, RunStats, RunStats) {
+    let mut space = AddressSpace::new();
+    let mut suite = Suite::simplified(&mut space);
+    let file = suite.file;
+    let mut m = SimMem::new(&space, host);
+    m.set_region_attribution(false);
+    suite.init_world(&mut m);
+    let mut send_total = RunStats::default();
+    let mut recv_total = RunStats::default();
+    let _ = m.take_phase_stats();
+    for i in 0..WARM + PACKETS {
+        let meta = ReplyMeta {
+            request_id: 1,
+            seq: i as u32,
+            offset: ((i * CHUNK) % (8 * 1024)) as u32,
+            last: 0,
+            data_len: CHUNK as u32,
+        };
+        send(&mut suite, &mut m, &meta, file.at(meta.offset as usize)).unwrap();
+        let (send_user, _) = m.take_phase_stats();
+        assert!(matches!(recv(&mut suite, &mut m), Some(Ok(_))));
+        let (recv_user, _) = m.take_phase_stats();
+        pump_acks(&mut suite, &mut m);
+        let (ack_user, _) = m.take_phase_stats();
+        if i >= WARM {
+            send_total.absorb(&send_user);
+            send_total.absorb(&ack_user);
+            recv_total.absorb(&recv_user);
+        }
+    }
+    let n = PACKETS as f64;
+    (
+        host.cost(&send_total).total_us / n + host.per_packet_user_us,
+        host.cost(&recv_total).total_us / n + host.per_packet_user_us,
+        send_total,
+        recv_total,
+    )
+}
+
+fn main() {
+    banner("§5 trailers", "header-format (B→C→A schedule) vs trailer-format (linear pass)");
+    println!("1 kbyte messages, simplified SAFER, ILP both ways\n");
+    for host in [HostModel::ss10_30(), HostModel::axp3000_800()] {
+        let (h_send, h_recv, hs, hr) = run(&host, send_reply_ilp, recv_reply_ilp);
+        let (t_send, t_recv, ts, tr) = run(&host, send_reply_ilp_trailer, recv_reply_ilp_trailer);
+        println!("--- {} ---", host.name);
+        let mut t = Table::new(vec!["format", "send µs", "recv µs", "send accesses", "recv accesses"]);
+        t.row(vec![
+            "header (B→C→A)".to_string(),
+            us(h_send),
+            us(h_recv),
+            (hs.data_accesses() / PACKETS as u64).to_string(),
+            (hr.data_accesses() / PACKETS as u64).to_string(),
+        ]);
+        t.row(vec![
+            "trailer (linear)".to_string(),
+            us(t_send),
+            us(t_recv),
+            (ts.data_accesses() / PACKETS as u64).to_string(),
+            (tr.data_accesses() / PACKETS as u64).to_string(),
+        ]);
+        t.print();
+        println!();
+    }
+    println!("(the trailer format removes the part-reordering machinery — same");
+    println!(" traffic, slightly less loop overhead — at the price of parsing");
+    println!(" the length only after the whole message arrived, as §5 predicts)");
+}

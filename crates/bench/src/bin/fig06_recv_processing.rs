@@ -1,0 +1,32 @@
+//! Figure 6 — receive packet processing times, 1 kbyte packets, ILP vs
+//! non-ILP, across the paper's seven hosts.
+
+use bench::measure::{measure, MeasureCfg};
+use bench::paper;
+use bench::report::{banner, gain_pct, pct, us, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+
+fn main() {
+    banner("Figure 6", "receive packet processing (1 kbyte packets)");
+    let mut table = Table::new(vec![
+        "host", "paper nonILP", "meas nonILP", "paper ILP", "meas ILP", "paper gain", "meas gain",
+    ]);
+    for host in HostModel::all() {
+        let cfg = MeasureCfg::timing(1024);
+        let ilp = measure(&host, cfg, Path::Ilp);
+        let non = measure(&host, cfg, Path::NonIlp);
+        let p = paper::table1(host.name, 1024).expect("paper row");
+        table.row(vec![
+            host.name.to_string(),
+            us(p.non_recv),
+            us(non.recv_us),
+            us(p.ilp_recv),
+            us(ilp.recv_us),
+            pct(gain_pct(p.non_recv, p.ilp_recv)),
+            pct(gain_pct(non.recv_us, ilp.recv_us)),
+        ]);
+    }
+    table.print();
+    println!("\n(µs per 1 kbyte packet; gain = non-ILP → ILP reduction)");
+}

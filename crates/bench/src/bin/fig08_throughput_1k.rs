@@ -1,0 +1,30 @@
+//! Figure 8 — loop-back throughput, 1 kbyte packets, ILP vs non-ILP,
+//! across the paper's seven hosts.
+
+use bench::measure::{measure, MeasureCfg};
+use bench::paper;
+use bench::report::{banner, mbps, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+
+fn main() {
+    banner("Figure 8", "throughput (1 kbyte packets)");
+    let mut table = Table::new(vec![
+        "host", "paper nonILP", "meas nonILP", "paper ILP", "meas ILP",
+    ]);
+    for host in HostModel::all() {
+        let cfg = MeasureCfg::timing(1024);
+        let ilp = measure(&host, cfg, Path::Ilp);
+        let non = measure(&host, cfg, Path::NonIlp);
+        let p = paper::table1(host.name, 1024).expect("paper row");
+        table.row(vec![
+            host.name.to_string(),
+            mbps(p.non_tput),
+            mbps(non.throughput_mbps),
+            mbps(p.ilp_tput),
+            mbps(ilp.throughput_mbps),
+        ]);
+    }
+    table.print();
+    println!("\n(Mbps of application payload over loop-back)");
+}

@@ -1,0 +1,37 @@
+//! Figure 9 — throughput vs packet size (256–1280 bytes) for the four
+//! figure hosts, ILP vs non-ILP. The paper's headline detail: the
+//! SS10-30 (no second-level cache) throughput *drops* at 1280 bytes,
+//! while the hosts with a board cache keep climbing.
+
+use bench::measure::{measure, MeasureCfg};
+use bench::paper;
+use bench::report::{banner, mbps, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+
+const SIZES: [usize; 5] = [256, 512, 768, 1024, 1280];
+
+fn main() {
+    banner("Figure 9", "throughput vs packet size");
+    for host in HostModel::figure_hosts() {
+        println!("\n--- {} ({}) ---", host.name, host.os);
+        let mut table = Table::new(vec![
+            "size", "paper nonILP", "meas nonILP", "paper ILP", "meas ILP",
+        ]);
+        for size in SIZES {
+            let cfg = MeasureCfg::timing(size);
+            let ilp = measure(&host, cfg, Path::Ilp);
+            let non = measure(&host, cfg, Path::NonIlp);
+            let p = paper::table1(host.name, size).expect("paper row");
+            table.row(vec![
+                size.to_string(),
+                mbps(p.non_tput),
+                mbps(non.throughput_mbps),
+                mbps(p.ilp_tput),
+                mbps(ilp.throughput_mbps),
+            ]);
+        }
+        table.print();
+    }
+    println!("\n(Mbps; watch the SS10-30 slope flatten at 1280 B — no L2 cache)");
+}

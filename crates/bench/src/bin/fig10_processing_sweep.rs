@@ -1,0 +1,38 @@
+//! Figure 10 — packet processing times vs packet size for the four
+//! figure hosts: ILP/non-ILP × send/receive. The gap between ILP and
+//! non-ILP grows roughly proportionally with packet size (§4.1).
+
+use bench::measure::{measure, MeasureCfg};
+use bench::paper;
+use bench::report::{banner, us, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+
+const SIZES: [usize; 5] = [256, 512, 768, 1024, 1280];
+
+fn main() {
+    banner("Figure 10", "packet processing times vs packet size");
+    for host in HostModel::figure_hosts() {
+        println!("\n--- {} ({}) ---", host.name, host.os);
+        let mut table = Table::new(vec![
+            "size",
+            "send nonILP p/m", "send ILP p/m",
+            "recv nonILP p/m", "recv ILP p/m",
+        ]);
+        for size in SIZES {
+            let cfg = MeasureCfg::timing(size);
+            let ilp = measure(&host, cfg, Path::Ilp);
+            let non = measure(&host, cfg, Path::NonIlp);
+            let p = paper::table1(host.name, size).expect("paper row");
+            table.row(vec![
+                size.to_string(),
+                format!("{}/{}", us(p.non_send), us(non.send_us)),
+                format!("{}/{}", us(p.ilp_send), us(ilp.send_us)),
+                format!("{}/{}", us(p.non_recv), us(non.recv_us)),
+                format!("{}/{}", us(p.ilp_recv), us(ilp.recv_us)),
+            ]);
+        }
+        table.print();
+    }
+    println!("\n(µs; each cell is paper/measured)");
+}

@@ -1,0 +1,45 @@
+//! Figure 11 — packet processing with the two encryption functions
+//! (simplified SAFER K-64 vs the very simple constant cipher), 1 kbyte
+//! packets on the SS10-30. The paper's point: the simpler cipher's ILP
+//! gain is *relatively* much larger (32%/40% vs 14%/16%) because the
+//! data manipulations no longer drown in table and byte traffic.
+
+use bench::measure::{measure, measure_simple_cipher, MeasureCfg};
+use bench::paper::fig11;
+use bench::report::{banner, gain_pct, pct, us, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+
+fn main() {
+    banner("Figure 11", "packet processing with different encryption functions (SS10-30, 1 kbyte)");
+    let host = HostModel::ss10_30();
+    let cfg = MeasureCfg::timing(1024);
+
+    let safer_ilp = measure(&host, cfg, Path::Ilp);
+    let safer_non = measure(&host, cfg, Path::NonIlp);
+    let simple_ilp = measure_simple_cipher(&host, cfg, Path::Ilp);
+    let simple_non = measure_simple_cipher(&host, cfg, Path::NonIlp);
+
+    let mut table = Table::new(vec![
+        "cipher/direction", "paper nonILP", "meas nonILP", "paper ILP", "meas ILP", "paper gain", "meas gain",
+    ]);
+    let rows: [(&str, (f64, f64), f64, f64); 4] = [
+        ("SAFER  send", fig11::SAFER_SEND, safer_non.send_us, safer_ilp.send_us),
+        ("SAFER  recv", fig11::SAFER_RECV, safer_non.recv_us, safer_ilp.recv_us),
+        ("simple send", fig11::SIMPLE_SEND, simple_non.send_us, simple_ilp.send_us),
+        ("simple recv", fig11::SIMPLE_RECV, simple_non.recv_us, simple_ilp.recv_us),
+    ];
+    for (label, (p_non, p_ilp), m_non, m_ilp) in rows {
+        table.row(vec![
+            label.to_string(),
+            us(p_non),
+            us(m_non),
+            us(p_ilp),
+            us(m_ilp),
+            pct(gain_pct(p_non, p_ilp)),
+            pct(gain_pct(m_non, m_ilp)),
+        ]);
+    }
+    table.print();
+    println!("\n(µs; the simple cipher's relative ILP gain must be the larger one)");
+}

@@ -1,0 +1,54 @@
+//! Figure 12 — throughput of the user-level ILP and non-ILP
+//! implementations against the in-kernel BSD TCP configuration, with
+//! both ciphers (1 kbyte messages, SS10-30).
+//!
+//! The kernel configuration keeps the same data-manipulation costs (run
+//! as separate user-space passes — fusion across the user/kernel
+//! boundary is impossible) but enjoys the two advantages the paper
+//! names: ACKs never cross into user space, and the control path is the
+//! mature BSD one ([`utcp::kernel_model::KernelTcpModel`]).
+
+use bench::measure::{measure, measure_simple_cipher, MeasureCfg, Measurement};
+use bench::paper::fig12;
+use bench::report::{banner, mbps, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+use utcp::kernel_model::KernelTcpModel;
+
+/// Assemble the kernel-TCP throughput from a non-ILP measurement: same
+/// simulated manipulation and copy costs, kernel placement discounts.
+fn kernel_tput(host: &HostModel, non: &Measurement) -> f64 {
+    let total = non.total_us()
+        - (1.0 - KernelTcpModel::CONTROL_FACTOR) * 2.0 * host.per_packet_user_us
+        - (1.0 - KernelTcpModel::DRIVER_FACTOR) * host.driver_us;
+    (non.cfg.chunk as f64 * 8.0) / total
+}
+
+fn main() {
+    banner("Figure 12", "throughput with different encryption functions vs kernel TCP (SS10-30, 1 kbyte)");
+    let host = HostModel::ss10_30();
+    let cfg = MeasureCfg::timing(1024);
+
+    let safer_non = measure(&host, cfg, Path::NonIlp);
+    let safer_ilp = measure(&host, cfg, Path::Ilp);
+    let simple_non = measure_simple_cipher(&host, cfg, Path::NonIlp);
+    let simple_ilp = measure_simple_cipher(&host, cfg, Path::Ilp);
+
+    let mut table = Table::new(vec![
+        "cipher", "config", "paper Mbps", "measured Mbps",
+    ]);
+    let rows = [
+        ("SAFER", "non-ILP", fig12::SAFER.0, safer_non.throughput_mbps),
+        ("SAFER", "ILP", fig12::SAFER.1, safer_ilp.throughput_mbps),
+        ("SAFER", "kernel TCP", fig12::SAFER.2, kernel_tput(&host, &safer_non)),
+        ("simple", "non-ILP", fig12::SIMPLE.0, simple_non.throughput_mbps),
+        ("simple", "ILP", fig12::SIMPLE.1, simple_ilp.throughput_mbps),
+        ("simple", "kernel TCP", fig12::SIMPLE.2, kernel_tput(&host, &simple_non)),
+    ];
+    for (cipher, config, p, m) in rows {
+        table.row(vec![cipher.to_string(), config.to_string(), mbps(p), mbps(m)]);
+    }
+    table.print();
+    println!("\n(ordering to preserve: kernel TCP > ILP > non-ILP for each cipher,");
+    println!(" with the kernel advantage larger under the cheap cipher)");
+}

@@ -1,0 +1,76 @@
+//! Figure 13 — memory accesses for transferring 10.7 Mbyte of data:
+//! read and write access counts (user-space protocol work) for
+//! {simplified SAFER, simple cipher} × {send, receive} × {ILP, non-ILP}.
+//!
+//! Set `ILP_VOLUME_MB` to trade accuracy for runtime (default 10.7, the
+//! paper's volume).
+
+use bench::measure::{measure, measure_simple_cipher, MeasureCfg, Measurement};
+use bench::paper::fig13;
+use bench::report::{banner, millions, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+
+fn volume_mb() -> f64 {
+    std::env::var("ILP_VOLUME_MB").ok().and_then(|v| v.parse().ok()).unwrap_or(10.7)
+}
+
+fn main() {
+    let mb = volume_mb();
+    banner("Figure 13", "memory accesses (user space) for transferring data");
+    println!("volume: {mb} MB in 1 kbyte messages (SS10-30 cache model)\n");
+    let host = HostModel::ss10_30();
+    let cfg = MeasureCfg::volume(1024, mb);
+
+    let safer_ilp = measure(&host, cfg, Path::Ilp);
+    let safer_non = measure(&host, cfg, Path::NonIlp);
+    let simple_ilp = measure_simple_cipher(&host, cfg, Path::Ilp);
+    let simple_non = measure_simple_cipher(&host, cfg, Path::NonIlp);
+
+    let scale = 10.7 / mb; // report at the paper's volume for comparability
+    let reads = |m: &Measurement, send: bool| {
+        let s = if send { &m.send_stats } else { &m.recv_stats };
+        (s.reads.total() as f64 * scale) as u64
+    };
+    let writes = |m: &Measurement, send: bool| {
+        let s = if send { &m.send_stats } else { &m.recv_stats };
+        (s.writes.total() as f64 * scale) as u64
+    };
+
+    let mut table = Table::new(vec![
+        "series", "paper ILP", "meas ILP", "paper nonILP", "meas nonILP",
+    ]);
+    let rows = [
+        ("SAFER send reads", fig13::SAFER_SEND_READS, reads(&safer_ilp, true), reads(&safer_non, true)),
+        ("SAFER recv reads", fig13::SAFER_RECV_READS, reads(&safer_ilp, false), reads(&safer_non, false)),
+        ("simple send reads", fig13::SIMPLE_SEND_READS, reads(&simple_ilp, true), reads(&simple_non, true)),
+        ("simple recv reads", fig13::SIMPLE_RECV_READS, reads(&simple_ilp, false), reads(&simple_non, false)),
+        ("SAFER send writes", fig13::SAFER_SEND_WRITES, writes(&safer_ilp, true), writes(&safer_non, true)),
+        ("SAFER recv writes", fig13::SAFER_RECV_WRITES, writes(&safer_ilp, false), writes(&safer_non, false)),
+        ("simple send writes", fig13::SIMPLE_SEND_WRITES, writes(&simple_ilp, true), writes(&simple_non, true)),
+        ("simple recv writes", fig13::SIMPLE_RECV_WRITES, writes(&simple_ilp, false), writes(&simple_non, false)),
+    ];
+    for (label, (p_ilp, p_non), m_ilp, m_non) in rows {
+        table.row(vec![
+            label.to_string(),
+            format!("{p_ilp:.1}"),
+            millions(m_ilp),
+            format!("{p_non:.1}"),
+            millions(m_non),
+        ]);
+    }
+    table.print();
+
+    let (saved_r, saved_w) = {
+        let ilp = safer_ilp.user_stats();
+        let non = safer_non.user_stats();
+        ilp.savings_vs(&non)
+    };
+    println!("\n(counts ×10⁶, normalised to 10.7 MB)");
+    println!(
+        "SAFER total savings: {:.1}M reads, {:.1}M writes (paper: 13.7M reads, 12M writes on send; \
+         8.4M/8.3M on receive)",
+        saved_r as f64 * scale / 1e6,
+        saved_w as f64 * scale / 1e6
+    );
+}

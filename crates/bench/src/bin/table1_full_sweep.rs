@@ -1,0 +1,39 @@
+//! Annex Table 1 — the complete sweep: seven hosts × five packet sizes
+//! × {ILP, non-ILP} × {throughput, send µs, receive µs}, paper value
+//! beside measured value in every cell.
+
+use bench::measure::{measure, MeasureCfg};
+use bench::paper;
+use bench::report::{banner, Table};
+use memsim::HostModel;
+use rpcapp::app::Path;
+
+const SIZES: [usize; 5] = [256, 512, 768, 1024, 1280];
+
+fn main() {
+    banner("Table 1 (Annex)", "packet processing and throughput, full sweep");
+    println!("(each cell: paper/measured)\n");
+    for host in HostModel::all() {
+        println!("--- {} ({}) ---", host.name, host.os);
+        let mut table = Table::new(vec![
+            "size", "tput ILP", "tput nonILP", "send ILP", "recv ILP", "send nonILP", "recv nonILP",
+        ]);
+        for size in SIZES {
+            let cfg = MeasureCfg::timing(size);
+            let ilp = measure(&host, cfg, Path::Ilp);
+            let non = measure(&host, cfg, Path::NonIlp);
+            let p = paper::table1(host.name, size).expect("paper row");
+            table.row(vec![
+                size.to_string(),
+                format!("{:.2}/{:.2}", p.ilp_tput, ilp.throughput_mbps),
+                format!("{:.2}/{:.2}", p.non_tput, non.throughput_mbps),
+                format!("{:.0}/{:.0}", p.ilp_send, ilp.send_us),
+                format!("{:.0}/{:.0}", p.ilp_recv, ilp.recv_us),
+                format!("{:.0}/{:.0}", p.non_send, non.send_us),
+                format!("{:.0}/{:.0}", p.non_recv, non.recv_us),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

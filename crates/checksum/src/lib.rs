@@ -1,0 +1,29 @@
+//! # checksum — error-detection kernels over instrumented memory
+//!
+//! Two data-manipulation functions used by the ILP reproduction:
+//!
+//! * [`internet`] — the Internet (TCP/UDP) checksum of RFC 1071. Its
+//!   16-bit one's-complement sum is **commutative**, which makes it a
+//!   *non-ordering-constrained* function in the paper's §2.2 taxonomy:
+//!   message parts may be summed in any order (the B → C → A schedule of
+//!   the paper's Figure 4 relies on this). The streaming accumulator
+//!   [`internet::InetChecksum`] lives entirely in registers, so fusing it
+//!   into an ILP loop adds zero memory traffic.
+//! * [`crc`] — CRC-32. The shift-register structure makes it
+//!   *ordering-constrained*: bytes must be fed strictly in serial order,
+//!   so the ILP part-reordering schedule is inapplicable (the framework in
+//!   `ilp-core` rejects such plans). Its 1 KB lookup table is read through
+//!   [`memsim::Mem`], so table pressure on the cache is measured, just as
+//!   the paper measures the SAFER log/exp tables.
+//!
+//! All kernels are generic over [`memsim::Mem`]; see the `memsim` crate
+//! docs for the two-world (native vs simulated) setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod internet;
+
+pub use crc::Crc32;
+pub use internet::{InetChecksum, PseudoHeader};

@@ -1,0 +1,45 @@
+//! # cipher — the encryption layer of the ILP reproduction
+//!
+//! The paper's protocol suite encrypts the marshalled message with a
+//! **simplified SAFER K-64** (§3.1): DES was ~100× too slow on a 1995
+//! SPARCstation and would hide any ILP gain, and even real SAFER K-64
+//! (~25 Mbps at one round) was "still too time consuming". The evaluation
+//! additionally uses a **very simple** table-free cipher (the one of
+//! Abbott & Peterson's experiments) to show how data-manipulation
+//! *characteristics* — table lookups, byte-grain writes, scratch
+//! variables — dominate cache behaviour (§4.1/§4.2).
+//!
+//! This crate implements all four ciphers the paper discusses:
+//!
+//! | Module | Cipher | Unit | Tables | Role in the paper |
+//! |---|---|---|---|---|
+//! | [`simplified`] | simplified SAFER K-64 | 8 B | log+exp (256 B each) + key + scratch byte vector | the main experiment cipher |
+//! | [`simple`] | constant add/xor | 4 B | none | the Fig. 11/12 ablation cipher |
+//! | [`safer`] | full SAFER K-64 (Massey '93) | 8 B | log+exp + key schedule | "still too slow" reference |
+//! | [`des`] | DES | 8 B | 8 S-boxes etc. | "hides all ILP gain" reference |
+//!
+//! Every cipher is a [`CipherKernel`]: it transforms one processing unit
+//! held in registers, while its key, tables and scratch vector live in
+//! (instrumented) memory — so the table and scratch traffic that drives
+//! the paper's §4.2 cache analysis is measured, not modelled.
+//!
+//! Block ciphers here are used in ECB mode exactly as the paper's stack
+//! uses them: each 8-byte unit is enciphered independently, which is what
+//! makes the encryption *non-ordering-constrained* and therefore fusible
+//! (a stream cipher or CBC chain would forbid the part B→C→A schedule).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod kernel;
+pub mod safer;
+pub mod simple;
+pub mod simplified;
+pub mod tables;
+
+pub use des::Des;
+pub use kernel::{decrypt_buf, encrypt_buf, CipherKernel};
+pub use safer::SaferK64;
+pub use simple::VerySimple;
+pub use simplified::SimplifiedSafer;

@@ -1,0 +1,291 @@
+//! Part A/B/C message segmentation (§3.2.2, Figure 4).
+//!
+//! Headers whose content depends on the data they precede (the encryption
+//! header's length field, the TCP checksum) cannot be processed first in
+//! a single forward pass. The paper generalises segregated messages by
+//! splitting the message into three parts and processing them **B, then
+//! C, then A**:
+//!
+//! ```text
+//!        α (marshalling starts)                γ
+//!   ┌────┬───────────────────────────────┬─────────┐
+//!   │ A  │            B                  │    C    │
+//!   └────┴───────────────────────────────┴─────────┘
+//!   0    β (= first cipher-aligned byte)          padded end
+//!   └ encryption header (length field) + first marshalled word
+//! ```
+//!
+//! * **Part B** (`[β, γ)`) — the bulk of the marshalled data; processed
+//!   first, streamed through the ILP loop.
+//! * **Part C** (`[γ, end)`) — the final cipher block, completed with
+//!   alignment bytes once the marshalled length is known.
+//! * **Part A** (`[0, β)`) — the encryption header (whose length field
+//!   is only now known) plus the first marshalled bytes sharing its
+//!   cipher block; processed last.
+//!
+//! The schedule is only sound for **non-ordering-constrained** functions
+//! (§2.2): [`SegmentPlan::for_message`] refuses to build a plan when any
+//! fused stage is [`Ordering::Constrained`]. It also embodies the other
+//! applicability rule — the header size must be known up front — by
+//! taking it as a required parameter.
+
+use crate::stage::Ordering;
+
+/// Which paper part a range belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartKind {
+    /// `[0, β)` — encryption header + leading marshalled bytes.
+    A,
+    /// `[β, γ)` — bulk data.
+    B,
+    /// `[γ, end)` — final block including alignment bytes.
+    C,
+}
+
+/// A half-open byte range of the message assigned to a part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Part {
+    /// Which part this is.
+    pub kind: PartKind,
+    /// First byte offset (from the start of the encryption header).
+    pub start: usize,
+    /// One past the last byte offset.
+    pub end: usize,
+}
+
+impl Part {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Why a plan could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// An ordering-constrained stage is in the pipeline; parts cannot be
+    /// reordered (§2.2).
+    OrderingConstrained,
+    /// The header does not fit inside one cipher block; the A-part trick
+    /// handles headers up to one block.
+    HeaderTooLarge {
+        /// Header length given.
+        header: usize,
+        /// Cipher block size.
+        block: usize,
+    },
+    /// Block size must be a positive multiple of 4 (word granularity).
+    BadBlock(usize),
+}
+
+impl core::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SegmentError::OrderingConstrained => {
+                write!(f, "ordering-constrained stage: part reordering is not applicable")
+            }
+            SegmentError::HeaderTooLarge { header, block } => {
+                write!(f, "header of {header} bytes exceeds one {block}-byte cipher block")
+            }
+            SegmentError::BadBlock(b) => write!(f, "invalid cipher block size {b}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// The processing schedule for one outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPlan {
+    /// α — where marshalled data starts (right after the encryption
+    /// header).
+    pub alpha: usize,
+    /// β — the first cipher-aligned byte after the header block.
+    pub beta: usize,
+    /// γ — start of the final cipher block.
+    pub gamma: usize,
+    /// Total message length including alignment padding.
+    pub padded_len: usize,
+    /// Alignment bytes appended to reach block alignment.
+    pub pad_bytes: usize,
+    parts: [Part; 3],
+}
+
+impl SegmentPlan {
+    /// Build the B→C→A schedule for a message of `marshalled_len` bytes
+    /// preceded by an `header_len`-byte encryption header, enciphered in
+    /// `block`-byte units by a pipeline with the given [`Ordering`].
+    pub fn for_message(
+        header_len: usize,
+        marshalled_len: usize,
+        block: usize,
+        ordering: Ordering,
+    ) -> Result<SegmentPlan, SegmentError> {
+        if ordering == Ordering::Constrained {
+            return Err(SegmentError::OrderingConstrained);
+        }
+        if block == 0 || !block.is_multiple_of(4) {
+            return Err(SegmentError::BadBlock(block));
+        }
+        if header_len > block {
+            return Err(SegmentError::HeaderTooLarge { header: header_len, block });
+        }
+        let alpha = header_len;
+        let beta = block; // first byte encryptable independently of the header block
+        let total = header_len + marshalled_len;
+        let padded_len = total.max(beta).div_ceil(block) * block;
+        let pad_bytes = padded_len - total;
+        // γ: start of the last block, never before β.
+        let gamma = (padded_len - block).max(beta);
+        let parts = [
+            Part { kind: PartKind::B, start: beta, end: gamma },
+            Part { kind: PartKind::C, start: gamma, end: padded_len },
+            Part { kind: PartKind::A, start: 0, end: beta },
+        ];
+        Ok(SegmentPlan { alpha, beta, gamma, padded_len, pad_bytes, parts })
+    }
+
+    /// The parts in processing order (B, C, A). Empty parts are included
+    /// with zero length so callers can iterate uniformly.
+    pub fn processing_order(&self) -> &[Part; 3] {
+        &self.parts
+    }
+
+    /// Look a part up by kind.
+    pub fn part(&self, kind: PartKind) -> Part {
+        *self
+            .parts
+            .iter()
+            .find(|p| p.kind == kind)
+            .expect("all three parts always present")
+    }
+
+    /// Do the parts exactly tile `[0, padded_len)`?
+    pub fn is_tiling(&self) -> bool {
+        let a = self.part(PartKind::A);
+        let b = self.part(PartKind::B);
+        let c = self.part(PartKind::C);
+        a.start == 0 && a.end == b.start && b.end == c.start && c.end == self.padded_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's concrete numbers: 4-byte encryption header, 8-byte
+    /// cipher blocks.
+    fn plan(marshalled: usize) -> SegmentPlan {
+        SegmentPlan::for_message(4, marshalled, 8, Ordering::Unconstrained).unwrap()
+    }
+
+    #[test]
+    fn paper_figure_4_positions() {
+        // 4-byte header, e.g. 100 bytes marshalled: α = 4, β = 8.
+        let p = plan(100);
+        assert_eq!(p.alpha, 4);
+        assert_eq!(p.beta, 8);
+        // total 104 → padded 104 (already aligned), γ = 96.
+        assert_eq!(p.padded_len, 104);
+        assert_eq!(p.gamma, 96);
+        assert_eq!(p.pad_bytes, 0);
+    }
+
+    #[test]
+    fn processing_order_is_b_c_a() {
+        let p = plan(100);
+        let kinds: Vec<_> = p.processing_order().iter().map(|p| p.kind).collect();
+        assert_eq!(kinds, [PartKind::B, PartKind::C, PartKind::A]);
+    }
+
+    #[test]
+    fn parts_tile_the_padded_message() {
+        for marshalled in [4usize, 5, 11, 12, 13, 100, 1017, 1024] {
+            let p = plan(marshalled);
+            assert!(p.is_tiling(), "marshalled {marshalled}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn alignment_bytes_computed() {
+        // 4 + 13 = 17 → padded 24, 7 alignment bytes.
+        let p = plan(13);
+        assert_eq!(p.padded_len, 24);
+        assert_eq!(p.pad_bytes, 7);
+        assert_eq!(p.part(PartKind::C), Part { kind: PartKind::C, start: 16, end: 24 });
+    }
+
+    #[test]
+    fn tiny_message_degenerates_to_part_a_only() {
+        // 4 + 3 = 7 → padded 8: A = [0,8), B and C empty.
+        let p = plan(3);
+        assert_eq!(p.padded_len, 8);
+        assert!(p.part(PartKind::B).is_empty());
+        assert!(p.part(PartKind::C).is_empty());
+        assert_eq!(p.part(PartKind::A).len(), 8);
+        assert!(p.is_tiling());
+    }
+
+    #[test]
+    fn two_block_message_has_empty_b() {
+        // 4 + 10 = 14 → padded 16: A = [0,8), C = [8,16), B empty.
+        let p = plan(10);
+        assert!(p.part(PartKind::B).is_empty());
+        assert_eq!(p.part(PartKind::C).len(), 8);
+        assert!(p.is_tiling());
+    }
+
+    #[test]
+    fn ordering_constrained_rejected() {
+        assert_eq!(
+            SegmentPlan::for_message(4, 100, 8, Ordering::Constrained),
+            Err(SegmentError::OrderingConstrained)
+        );
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        assert_eq!(
+            SegmentPlan::for_message(12, 100, 8, Ordering::Unconstrained),
+            Err(SegmentError::HeaderTooLarge { header: 12, block: 8 })
+        );
+    }
+
+    #[test]
+    fn bad_block_rejected() {
+        assert_eq!(
+            SegmentPlan::for_message(4, 100, 6, Ordering::Unconstrained),
+            Err(SegmentError::BadBlock(6))
+        );
+        assert_eq!(
+            SegmentPlan::for_message(4, 100, 0, Ordering::Unconstrained),
+            Err(SegmentError::BadBlock(0))
+        );
+    }
+
+    #[test]
+    fn header_equal_to_block_is_pure_header_part_a() {
+        // With an 8-byte header, part A is exactly the header block and
+        // marshalling starts at β.
+        let p = SegmentPlan::for_message(8, 64, 8, Ordering::Unconstrained).unwrap();
+        assert_eq!(p.alpha, 8);
+        assert_eq!(p.beta, 8);
+        assert_eq!(p.part(PartKind::A).len(), 8);
+        assert!(p.is_tiling());
+    }
+
+    #[test]
+    fn word_cipher_block_of_4() {
+        // The very simple cipher (4-byte unit): header occupies exactly
+        // one block, everything tiles.
+        let p = SegmentPlan::for_message(4, 21, 4, Ordering::Unconstrained).unwrap();
+        assert_eq!(p.beta, 4);
+        assert_eq!(p.padded_len, 28);
+        assert!(p.is_tiling());
+    }
+}

@@ -1,0 +1,560 @@
+//! Set-associative cache simulation.
+//!
+//! Models the two-level hierarchies of the paper's hosts: a split
+//! first-level cache (data + instruction) and an optional unified
+//! second-level cache. Geometry (total size, line size, associativity),
+//! write policy (write-through vs write-back) and write-miss allocation
+//! (allocate vs no-allocate) are configurable per level, so both the
+//! SuperSPARC (16 KB data / 20 KB instruction L1) and the Alpha 21064
+//! (8 KB direct-mapped write-through L1, 512 KB board-level L2) can be
+//! described. Replacement is LRU.
+//!
+//! Accesses that straddle a line boundary touch every line they cover —
+//! this matters for the paper's unaligned 2- and 4-byte checksum and
+//! marshalling accesses.
+
+/// Write policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Writes update the next level immediately (Alpha 21064 on-chip D-cache).
+    WriteThrough,
+    /// Dirty lines are written back on eviction (SuperSPARC, board caches).
+    WriteBack,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Associativity (1 = direct-mapped).
+    pub assoc: usize,
+    /// Write policy.
+    pub write: WritePolicy,
+    /// Whether a write miss allocates the line (fetch-on-write). The Alpha
+    /// 21064 D-cache does not allocate on write misses; SuperSPARC does.
+    pub write_allocate: bool,
+}
+
+impl CacheSpec {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// line × assoc, or non-power-of-two line count).
+    pub fn sets(&self) -> usize {
+        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        let lines = self.size / self.line;
+        assert_eq!(lines * self.line, self.size, "size must be a multiple of line size");
+        assert_eq!(lines % self.assoc, 0, "lines must divide evenly into ways");
+        let sets = lines / self.assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// What kind of access is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLevelStats {
+    /// Read (load) hits.
+    pub read_hits: u64,
+    /// Read (load) misses.
+    pub read_misses: u64,
+    /// Write (store) hits.
+    pub write_hits: u64,
+    /// Write (store) misses.
+    pub write_misses: u64,
+    /// Instruction-fetch hits.
+    pub fetch_hits: u64,
+    /// Instruction-fetch misses.
+    pub fetch_misses: u64,
+    /// Dirty-line write-backs (write-back caches only).
+    pub writebacks: u64,
+}
+
+impl CacheLevelStats {
+    /// All hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits + self.fetch_hits
+    }
+
+    /// All misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses + self.fetch_misses
+    }
+
+    /// Total accesses seen by this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Miss ratio in [0, 1]; zero when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+}
+
+/// One set-associative cache level with LRU replacement.
+#[derive(Debug, Clone)]
+struct Level {
+    spec: CacheSpec,
+    sets: usize,
+    line_shift: u32,
+    /// `tags[set * assoc + way]`: line tag, or `None` when invalid.
+    tags: Vec<Option<usize>>,
+    /// Dirty bit per way (meaningful for write-back levels).
+    dirty: Vec<bool>,
+    /// LRU age per way: lower = more recently used.
+    age: Vec<u32>,
+    stats: CacheLevelStats,
+}
+
+/// Result of probing one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Hit,
+    Miss { evicted_dirty: bool },
+}
+
+impl Level {
+    fn new(spec: CacheSpec) -> Self {
+        let sets = spec.sets();
+        let ways = sets * spec.assoc;
+        Level {
+            spec,
+            sets,
+            line_shift: spec.line.trailing_zeros(),
+            tags: vec![None; ways],
+            dirty: vec![false; ways],
+            age: vec![0; ways],
+            stats: CacheLevelStats::default(),
+        }
+    }
+
+    fn set_index(&self, addr: usize) -> usize {
+        (addr >> self.line_shift) & (self.sets - 1)
+    }
+
+    fn tag(&self, addr: usize) -> usize {
+        addr >> self.line_shift
+    }
+
+    /// Probe for `addr`; on a miss, optionally allocate the line.
+    fn access(&mut self, addr: usize, kind: AccessKind, allocate: bool) -> Probe {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = set * self.spec.assoc;
+        let ways = &mut self.tags[base..base + self.spec.assoc];
+
+        if let Some(way) = ways.iter().position(|t| *t == Some(tag)) {
+            self.touch(base, way);
+            if kind == AccessKind::Write && self.spec.write == WritePolicy::WriteBack {
+                self.dirty[base + way] = true;
+            }
+            self.count(kind, true);
+            return Probe::Hit;
+        }
+
+        self.count(kind, false);
+        if !allocate {
+            return Probe::Miss { evicted_dirty: false };
+        }
+
+        // Choose the LRU way (or first invalid way).
+        let victim = (0..self.spec.assoc)
+            .max_by_key(|&w| {
+                if self.tags[base + w].is_none() {
+                    u64::MAX // prefer invalid ways
+                } else {
+                    self.age[base + w] as u64
+                }
+            })
+            .expect("assoc >= 1");
+        let evicted_dirty = self.tags[base + victim].is_some() && self.dirty[base + victim];
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        self.tags[base + victim] = Some(tag);
+        self.dirty[base + victim] =
+            kind == AccessKind::Write && self.spec.write == WritePolicy::WriteBack;
+        self.touch(base, victim);
+        Probe::Miss { evicted_dirty }
+    }
+
+    /// Mark `way` most recently used, ageing its set-mates.
+    fn touch(&mut self, base: usize, way: usize) {
+        for w in 0..self.spec.assoc {
+            self.age[base + w] = self.age[base + w].saturating_add(1);
+        }
+        self.age[base + way] = 0;
+    }
+
+    fn count(&mut self, kind: AccessKind, hit: bool) {
+        let s = &mut self.stats;
+        match (kind, hit) {
+            (AccessKind::Read, true) => s.read_hits += 1,
+            (AccessKind::Read, false) => s.read_misses += 1,
+            (AccessKind::Write, true) => s.write_hits += 1,
+            (AccessKind::Write, false) => s.write_misses += 1,
+            (AccessKind::Fetch, true) => s.fetch_hits += 1,
+            (AccessKind::Fetch, false) => s.fetch_misses += 1,
+        }
+    }
+}
+
+/// Which levels an access had to descend to. Drives the host cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceLevel {
+    /// Satisfied by the first-level cache.
+    L1,
+    /// Missed L1, satisfied by the second-level cache.
+    L2,
+    /// Missed every cache; served by main memory.
+    Memory,
+}
+
+/// Outcome of one data access: the level whose latency the access pays,
+/// and whether it missed the L1 at all.
+///
+/// The two differ for write misses on a write-through **no-allocate**
+/// cache (the Alpha 21064 D-cache): the store leaves through the merging
+/// write buffer at near-hit cost, so `cost_level` is `L1`, but it *is* an
+/// L1 write miss and is counted as such (the paper's Figure 14 counts
+/// these). On a write-allocate cache a write miss stalls for the line
+/// fill and `cost_level` reflects where the fill came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataAccess {
+    /// Level whose latency the access pays.
+    pub cost_level: ServiceLevel,
+    /// Whether the access missed the first-level cache.
+    pub l1_miss: bool,
+}
+
+/// Per-line outcome counts of one instruction-fetch walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchResult {
+    /// Lines served by the I-cache.
+    pub l1_lines: u64,
+    /// Lines refilled from the L2.
+    pub l2_lines: u64,
+    /// Lines refilled from memory.
+    pub mem_lines: u64,
+}
+
+/// A split-L1 / optional-unified-L2 hierarchy.
+///
+/// `access_data` and `access_fetch` return the [`ServiceLevel`] that
+/// ultimately satisfied the request, which the host model prices.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    l1d: Level,
+    l1i: Level,
+    l2: Option<Level>,
+}
+
+impl CacheSim {
+    /// Build a hierarchy from per-level specs.
+    pub fn new(l1d: CacheSpec, l1i: CacheSpec, l2: Option<CacheSpec>) -> Self {
+        CacheSim {
+            l1d: Level::new(l1d),
+            l1i: Level::new(l1i),
+            l2: l2.map(Level::new),
+        }
+    }
+
+    /// Simulate a data access of `len` bytes at `addr`. Accesses spanning
+    /// line boundaries touch each covered line; the worst cost level and
+    /// the OR of the per-line miss flags are returned.
+    pub fn access_data(&mut self, addr: usize, len: usize, kind: AccessKind) -> DataAccess {
+        debug_assert!(kind != AccessKind::Fetch);
+        let line = self.l1d.spec.line;
+        let mut worst = DataAccess { cost_level: ServiceLevel::L1, l1_miss: false };
+        let mut a = addr;
+        let end = addr + len.max(1);
+        while a < end {
+            let acc = self.one_line(a, kind, false);
+            worst.cost_level = worse(worst.cost_level, acc.cost_level);
+            worst.l1_miss |= acc.l1_miss;
+            a = (a & !(line - 1)) + line;
+        }
+        worst
+    }
+
+    /// Simulate an instruction fetch of the `len` bytes at `addr`,
+    /// returning per-line counts (a loop body spans many I-cache lines,
+    /// so per-call worst-level accounting would hide most of the cost).
+    pub fn access_fetch(&mut self, addr: usize, len: usize) -> FetchResult {
+        let line = self.l1i.spec.line;
+        let mut result = FetchResult::default();
+        let mut a = addr;
+        let end = addr + len.max(1);
+        while a < end {
+            let acc = self.one_line(a, AccessKind::Fetch, true);
+            match acc.cost_level {
+                ServiceLevel::L1 => result.l1_lines += 1,
+                ServiceLevel::L2 => result.l2_lines += 1,
+                ServiceLevel::Memory => result.mem_lines += 1,
+            }
+            a = (a & !(line - 1)) + line;
+        }
+        result
+    }
+
+    fn one_line(&mut self, addr: usize, kind: AccessKind, fetch: bool) -> DataAccess {
+        let l1 = if fetch { &mut self.l1i } else { &mut self.l1d };
+        let allocate = match kind {
+            AccessKind::Write => l1.spec.write_allocate,
+            _ => true,
+        };
+        let l1_result = l1.access(addr, kind, allocate);
+        let write_through = l1.spec.write == WritePolicy::WriteThrough;
+
+        match l1_result {
+            Probe::Hit => {
+                // A write hit on a write-through L1 still propagates to L2,
+                // but the store buffer absorbs the latency; we keep L2
+                // contents in sync without charging a worse service level.
+                if kind == AccessKind::Write && write_through {
+                    if let Some(l2) = &mut self.l2 {
+                        let _ = l2.access(addr, AccessKind::Write, true);
+                    }
+                }
+                DataAccess { cost_level: ServiceLevel::L1, l1_miss: false }
+            }
+            Probe::Miss { .. } => {
+                let lower = match &mut self.l2 {
+                    Some(l2) => match l2.access(addr, kind, true) {
+                        Probe::Hit => ServiceLevel::L2,
+                        Probe::Miss { .. } => ServiceLevel::Memory,
+                    },
+                    None => ServiceLevel::Memory,
+                };
+                // Write miss on a no-allocate write-through cache: the
+                // merging write buffer hides the latency (cost ≈ hit),
+                // though it is still an L1 write miss for the counters.
+                let cost_level = if kind == AccessKind::Write && write_through && !allocate {
+                    ServiceLevel::L1
+                } else {
+                    lower
+                };
+                DataAccess { cost_level, l1_miss: true }
+            }
+        }
+    }
+
+    /// First-level data-cache statistics.
+    pub fn l1d_stats(&self) -> CacheLevelStats {
+        self.l1d.stats
+    }
+
+    /// First-level instruction-cache statistics.
+    pub fn l1i_stats(&self) -> CacheLevelStats {
+        self.l1i.stats
+    }
+
+    /// Second-level cache statistics, if an L2 is configured.
+    pub fn l2_stats(&self) -> Option<CacheLevelStats> {
+        self.l2.as_ref().map(|l| l.stats)
+    }
+
+    /// Reset all hit/miss counters (cache *contents* are preserved, so a
+    /// warm-up phase can be excluded from measurement).
+    pub fn reset_stats(&mut self) {
+        self.l1d.stats = CacheLevelStats::default();
+        self.l1i.stats = CacheLevelStats::default();
+        if let Some(l2) = &mut self.l2 {
+            l2.stats = CacheLevelStats::default();
+        }
+    }
+}
+
+fn worse(a: ServiceLevel, b: ServiceLevel) -> ServiceLevel {
+    use ServiceLevel::*;
+    match (a, b) {
+        (Memory, _) | (_, Memory) => Memory,
+        (L2, _) | (_, L2) => L2,
+        _ => L1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CacheSpec {
+        // 4 lines of 16 B, direct-mapped: sets = 4.
+        CacheSpec { size: 64, line: 16, assoc: 1, write: WritePolicy::WriteBack, write_allocate: true }
+    }
+
+    fn sim_no_l2() -> CacheSim {
+        CacheSim::new(tiny_spec(), tiny_spec(), None)
+    }
+
+    #[test]
+    fn spec_sets_arithmetic() {
+        assert_eq!(tiny_spec().sets(), 4);
+        let s = CacheSpec { size: 16384, line: 32, assoc: 4, write: WritePolicy::WriteBack, write_allocate: true };
+        assert_eq!(s.sets(), 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let s = CacheSpec { size: 100, line: 16, assoc: 1, write: WritePolicy::WriteBack, write_allocate: true };
+        let _ = s.sets();
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut sim = sim_no_l2();
+        assert_eq!(sim.access_data(0x100, 4, AccessKind::Read).cost_level, ServiceLevel::Memory);
+        assert_eq!(sim.access_data(0x100, 4, AccessKind::Read).cost_level, ServiceLevel::L1);
+        assert_eq!(sim.access_data(0x104, 4, AccessKind::Read).cost_level, ServiceLevel::L1); // same line
+        let s = sim.l1d_stats();
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.read_hits, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_eviction() {
+        let mut sim = sim_no_l2();
+        // 4 sets × 16 B lines: addresses 64 apart conflict.
+        sim.access_data(0x000, 4, AccessKind::Read);
+        sim.access_data(0x040, 4, AccessKind::Read); // evicts 0x000's line
+        assert_eq!(sim.access_data(0x000, 4, AccessKind::Read).cost_level, ServiceLevel::Memory);
+        assert_eq!(sim.l1d_stats().read_misses, 3);
+    }
+
+    #[test]
+    fn two_way_lru_keeps_both_then_evicts_lru() {
+        let spec = CacheSpec { size: 64, line: 16, assoc: 2, write: WritePolicy::WriteBack, write_allocate: true };
+        let mut sim = CacheSim::new(spec, spec, None);
+        // 2 sets; addresses 32 apart share a set.
+        sim.access_data(0x00, 4, AccessKind::Read); // miss, way A
+        sim.access_data(0x20, 4, AccessKind::Read); // miss, way B
+        assert_eq!(sim.access_data(0x00, 4, AccessKind::Read).cost_level, ServiceLevel::L1);
+        assert_eq!(sim.access_data(0x20, 4, AccessKind::Read).cost_level, ServiceLevel::L1);
+        sim.access_data(0x40, 4, AccessKind::Read); // evicts LRU = 0x00
+        assert_eq!(sim.access_data(0x20, 4, AccessKind::Read).cost_level, ServiceLevel::L1);
+        assert_eq!(sim.access_data(0x00, 4, AccessKind::Read).cost_level, ServiceLevel::Memory);
+    }
+
+    #[test]
+    fn line_straddling_access_touches_both_lines() {
+        let mut sim = sim_no_l2();
+        sim.access_data(0x10E, 4, AccessKind::Read); // spans lines 0x100 and 0x110
+        assert_eq!(sim.l1d_stats().read_misses, 2);
+        assert_eq!(sim.access_data(0x110, 4, AccessKind::Read).cost_level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn write_no_allocate_keeps_missing() {
+        let spec = CacheSpec { size: 64, line: 16, assoc: 1, write: WritePolicy::WriteThrough, write_allocate: false };
+        let mut sim = CacheSim::new(spec, spec, None);
+        // The store misses (and is counted as a miss) but pays hit cost:
+        // the merging write buffer hides the latency.
+        let first = sim.access_data(0x200, 1, AccessKind::Write);
+        assert!(first.l1_miss);
+        assert_eq!(first.cost_level, ServiceLevel::L1);
+        // Not allocated: the next write misses again.
+        assert!(sim.access_data(0x200, 1, AccessKind::Write).l1_miss);
+        assert_eq!(sim.l1d_stats().write_misses, 2);
+        // But a read miss allocates, after which writes hit outright.
+        sim.access_data(0x200, 1, AccessKind::Read);
+        let hit = sim.access_data(0x200, 1, AccessKind::Write);
+        assert!(!hit.l1_miss);
+        assert_eq!(hit.cost_level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn write_allocate_installs_line() {
+        let mut sim = sim_no_l2();
+        assert_eq!(sim.access_data(0x300, 1, AccessKind::Write).cost_level, ServiceLevel::Memory);
+        assert_eq!(sim.access_data(0x300, 1, AccessKind::Write).cost_level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut sim = sim_no_l2();
+        sim.access_data(0x000, 4, AccessKind::Write); // dirty line in set 0
+        sim.access_data(0x040, 4, AccessKind::Read); // evicts dirty line
+        assert_eq!(sim.l1d_stats().writebacks, 1);
+    }
+
+    #[test]
+    fn l2_absorbs_l1_conflicts() {
+        let l2 = CacheSpec { size: 1024, line: 16, assoc: 4, write: WritePolicy::WriteBack, write_allocate: true };
+        let mut sim = CacheSim::new(tiny_spec(), tiny_spec(), Some(l2));
+        sim.access_data(0x000, 4, AccessKind::Read); // mem
+        sim.access_data(0x040, 4, AccessKind::Read); // mem, evicts L1
+        assert_eq!(sim.access_data(0x000, 4, AccessKind::Read).cost_level, ServiceLevel::L2);
+    }
+
+    #[test]
+    fn fetch_uses_icache_not_dcache() {
+        let mut sim = sim_no_l2();
+        sim.access_fetch(0x1000, 32);
+        assert_eq!(sim.l1d_stats().accesses(), 0);
+        assert_eq!(sim.l1i_stats().fetch_misses, 2); // 32 B = 2 lines
+        sim.access_fetch(0x1000, 32);
+        assert_eq!(sim.l1i_stats().fetch_hits, 2);
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_line_touches() {
+        let mut sim = sim_no_l2();
+        let mut expected = 0u64;
+        for i in 0..100usize {
+            let addr = 0x40 * (i % 7) + i;
+            sim.access_data(addr, 4, AccessKind::Read);
+            // count lines touched
+            let first = addr & !15;
+            let last = (addr + 3) & !15;
+            expected += 1 + ((last - first) / 16) as u64;
+        }
+        assert_eq!(sim.l1d_stats().accesses(), expected);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut sim = sim_no_l2();
+        sim.access_data(0x100, 4, AccessKind::Read);
+        sim.reset_stats();
+        assert_eq!(sim.l1d_stats().accesses(), 0);
+        assert_eq!(sim.access_data(0x100, 4, AccessKind::Read).cost_level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn streaming_through_direct_mapped_evicts_resident_table() {
+        // The paper's §4.2 effect: a large streamed buffer periodically
+        // aliases the cipher tables in a direct-mapped cache.
+        let spec = CacheSpec { size: 256, line: 16, assoc: 1, write: WritePolicy::WriteBack, write_allocate: true };
+        let mut sim = CacheSim::new(spec, spec, None);
+        // "Table" at 0x00..0x20 resident.
+        sim.access_data(0x00, 4, AccessKind::Read);
+        sim.access_data(0x10, 4, AccessKind::Read);
+        // Stream 1 KB of writes (aliases every set 4 times).
+        for a in (0x1000..0x1400).step_by(16) {
+            sim.access_data(a, 4, AccessKind::Write);
+        }
+        assert_eq!(sim.access_data(0x00, 4, AccessKind::Read).cost_level, ServiceLevel::Memory);
+    }
+}

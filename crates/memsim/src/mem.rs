@@ -1,0 +1,281 @@
+//! The [`Mem`] trait — the single abstraction every protocol kernel is
+//! written against — and its zero-cost native implementation.
+//!
+//! The paper's central quantity is the number and size of memory accesses a
+//! protocol stack performs per packet (§4.2). To measure that without
+//! forking the code base, kernels never touch slices directly: they issue
+//! reads and writes through `Mem`. The [`NativeMem`] instance erases to raw
+//! slice accesses under monomorphisation; [`crate::SimMem`] counts and
+//! cache-simulates the identical access stream.
+//!
+//! Register-resident computation is *not* memory traffic. Kernels announce
+//! it through [`Mem::compute`] (ALU operation counts) so the host cost
+//! model can charge cycles for it; `NativeMem` discards the hint.
+
+/// A kernel's instruction-footprint handle, created by
+/// [`crate::AddressSpace::alloc_code`].
+///
+/// Kernels call [`Mem::fetch`] with their code region once per inner-loop
+/// iteration; the simulator walks the region through the instruction cache.
+/// This reproduces the paper's observation that the fused ILP loop has a
+/// larger active code footprint, which on the DEC Alpha's 8 KB I-cache
+/// causes the extra instruction misses reported in §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeRegion {
+    /// Name for reports ("ilp_send_loop", "checksum", …).
+    pub name: &'static str,
+    /// First instruction address.
+    pub base: usize,
+    /// Footprint length in bytes.
+    pub len: usize,
+}
+
+/// Which accounting bucket accesses fall into.
+///
+/// The paper's "packet processing times include all data manipulations
+/// within the application space" — system copies and kernel work are
+/// excluded and accounted separately. Kernel-side code (the loop-back
+/// kernel part's system copies) brackets itself with
+/// [`Mem::phase_push`]/[`Mem::phase_pop`] so [`crate::SimMem`] can report
+/// user and system traffic separately; `NativeMem` ignores the hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseTag {
+    /// Application-space protocol work (default).
+    User,
+    /// Kernel work: system copies, trap paths.
+    System,
+}
+
+/// Memory as seen by a protocol kernel.
+///
+/// Addresses come from [`crate::AddressSpace`] regions. Access widths are
+/// expressed through the const generic `N` (1, 2, 4 or 8 in practice —
+/// the paper's access-size classes); the simulator buckets counts by `N`.
+///
+/// Byte order is the caller's business: `read`/`write` move raw bytes, and
+/// the convenience helpers (`read_u16_be`, …) apply network byte order,
+/// which is what every wire format in this workspace uses.
+pub trait Mem {
+    /// Read `N` bytes starting at `addr`.
+    fn read<const N: usize>(&mut self, addr: usize) -> [u8; N];
+
+    /// Write `N` bytes starting at `addr`.
+    fn write<const N: usize>(&mut self, addr: usize, bytes: [u8; N]);
+
+    /// Account for `ops` register-only ALU operations (adds, xors, shifts,
+    /// table-index arithmetic). No memory traffic.
+    fn compute(&mut self, ops: u32);
+
+    /// Account for one execution of the loop body whose instructions live
+    /// in `code`: the simulator streams the region through the I-cache.
+    fn fetch(&mut self, code: CodeRegion);
+
+    /// Enter an accounting phase (kernel code brackets its work with
+    /// push/pop). No-op for uninstrumented memory.
+    #[inline(always)]
+    fn phase_push(&mut self, _tag: PhaseTag) {}
+
+    /// Leave the current accounting phase.
+    #[inline(always)]
+    fn phase_pop(&mut self) {}
+
+    // --- convenience helpers (network byte order) ---
+
+    /// Read one byte.
+    #[inline(always)]
+    fn read_u8(&mut self, addr: usize) -> u8 {
+        self.read::<1>(addr)[0]
+    }
+
+    /// Write one byte.
+    #[inline(always)]
+    fn write_u8(&mut self, addr: usize, v: u8) {
+        self.write::<1>(addr, [v]);
+    }
+
+    /// Read a big-endian 16-bit word.
+    #[inline(always)]
+    fn read_u16_be(&mut self, addr: usize) -> u16 {
+        u16::from_be_bytes(self.read::<2>(addr))
+    }
+
+    /// Write a big-endian 16-bit word.
+    #[inline(always)]
+    fn write_u16_be(&mut self, addr: usize, v: u16) {
+        self.write::<2>(addr, v.to_be_bytes());
+    }
+
+    /// Read a big-endian 32-bit word.
+    #[inline(always)]
+    fn read_u32_be(&mut self, addr: usize) -> u32 {
+        u32::from_be_bytes(self.read::<4>(addr))
+    }
+
+    /// Write a big-endian 32-bit word.
+    #[inline(always)]
+    fn write_u32_be(&mut self, addr: usize, v: u32) {
+        self.write::<4>(addr, v.to_be_bytes());
+    }
+
+    /// Read a big-endian 64-bit word.
+    #[inline(always)]
+    fn read_u64_be(&mut self, addr: usize) -> u64 {
+        u64::from_be_bytes(self.read::<8>(addr))
+    }
+
+    /// Write a big-endian 64-bit word.
+    #[inline(always)]
+    fn write_u64_be(&mut self, addr: usize, v: u64) {
+        self.write::<8>(addr, v.to_be_bytes());
+    }
+
+    /// Word-wise (4-byte) copy of `len` bytes, with a byte-wise tail.
+    ///
+    /// This is the canonical "system copy" / `tcp_send` copy of the paper's
+    /// Figures 3 and 5: one 4-byte read and one 4-byte write per word.
+    #[inline(always)]
+    fn copy(&mut self, src: usize, dst: usize, len: usize) {
+        let words = len / 4;
+        for i in 0..words {
+            let w: [u8; 4] = self.read(src + 4 * i);
+            self.write(dst + 4 * i, w);
+        }
+        for i in words * 4..len {
+            let b = self.read_u8(src + i);
+            self.write_u8(dst + i, b);
+        }
+    }
+}
+
+/// Zero-cost [`Mem`] over a mutable byte slice.
+///
+/// Addresses are the simulated addresses from [`crate::AddressSpace`];
+/// `base` (the address space's data base) is subtracted to index the
+/// arena. All instrumentation hooks are no-ops that vanish under
+/// optimisation, so fused-loop benchmarks over `NativeMem` measure the
+/// machine code a real deployment would run.
+#[derive(Debug)]
+pub struct NativeMem<'a> {
+    arena: &'a mut [u8],
+    base: usize,
+}
+
+impl<'a> NativeMem<'a> {
+    /// Wrap an arena created by [`crate::AddressSpace::native_arena`].
+    pub fn new(arena: &'a mut [u8]) -> Self {
+        NativeMem { arena, base: crate::layout::AddressSpace::new().data_base() }
+    }
+
+    /// Wrap a raw slice whose index 0 corresponds to simulated address
+    /// `base`.
+    pub fn with_base(arena: &'a mut [u8], base: usize) -> Self {
+        NativeMem { arena, base }
+    }
+
+    /// Borrow the underlying bytes of simulated range `[addr, addr+len)`.
+    pub fn bytes(&self, addr: usize, len: usize) -> &[u8] {
+        &self.arena[addr - self.base..addr - self.base + len]
+    }
+
+    /// Mutably borrow the underlying bytes of `[addr, addr+len)`.
+    pub fn bytes_mut(&mut self, addr: usize, len: usize) -> &mut [u8] {
+        &mut self.arena[addr - self.base..addr - self.base + len]
+    }
+}
+
+impl Mem for NativeMem<'_> {
+    #[inline(always)]
+    fn read<const N: usize>(&mut self, addr: usize) -> [u8; N] {
+        let i = addr - self.base;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.arena[i..i + N]);
+        out
+    }
+
+    #[inline(always)]
+    fn write<const N: usize>(&mut self, addr: usize, bytes: [u8; N]) {
+        let i = addr - self.base;
+        self.arena[i..i + N].copy_from_slice(&bytes);
+    }
+
+    #[inline(always)]
+    fn compute(&mut self, _ops: u32) {}
+
+    #[inline(always)]
+    fn fetch(&mut self, _code: CodeRegion) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::AddressSpace;
+
+    fn fixture() -> (AddressSpace, crate::region::Region) {
+        let mut space = AddressSpace::new();
+        let r = space.alloc("buf", 64, 8);
+        (space, r)
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_widths() {
+        let (space, r) = fixture();
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.write_u8(r.at(0), 0xAB);
+        m.write_u16_be(r.at(2), 0x1234);
+        m.write_u32_be(r.at(4), 0xDEADBEEF);
+        m.write_u64_be(r.at(8), 0x0102030405060708);
+        assert_eq!(m.read_u8(r.at(0)), 0xAB);
+        assert_eq!(m.read_u16_be(r.at(2)), 0x1234);
+        assert_eq!(m.read_u32_be(r.at(4)), 0xDEADBEEF);
+        assert_eq!(m.read_u64_be(r.at(8)), 0x0102030405060708);
+    }
+
+    #[test]
+    fn big_endian_layout_on_the_wire() {
+        let (space, r) = fixture();
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.write_u32_be(r.at(0), 0x11223344);
+        assert_eq!(m.bytes(r.at(0), 4), &[0x11, 0x22, 0x33, 0x44]);
+    }
+
+    #[test]
+    fn copy_moves_exact_bytes_including_tail() {
+        let (mut space, _) = {
+            let mut s = AddressSpace::new();
+            let r = s.alloc("buf", 64, 8);
+            (s, r)
+        };
+        let src = space.alloc("src", 32, 8);
+        let dst = space.alloc("dst", 32, 8);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for i in 0..11 {
+            m.write_u8(src.at(i), i as u8 + 1);
+        }
+        m.copy(src.base, dst.base, 11); // 2 words + 3-byte tail
+        for i in 0..11 {
+            assert_eq!(m.read_u8(dst.at(i)), i as u8 + 1);
+        }
+        assert_eq!(m.read_u8(dst.at(11)), 0);
+    }
+
+    #[test]
+    fn bytes_and_bytes_mut_alias_the_same_storage() {
+        let (space, r) = fixture();
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(r.at(0), 4).copy_from_slice(&[9, 8, 7, 6]);
+        assert_eq!(m.read_u32_be(r.at(0)), 0x09080706);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_arena_access_panics() {
+        let (space, r) = fixture();
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        let _ = m.read_u32_be(r.end() + 1024);
+    }
+}

@@ -1,0 +1,256 @@
+//! The assembled protocol environment.
+//!
+//! [`Suite`] owns everything one sender/receiver pair needs: the cipher
+//! (with its tables, key and scratch in simulated memory), the loop-back
+//! kernel part, the two uni-directional connections (data and ACKs are
+//! carried by the same connection pair; the request direction uses a
+//! second pair in [`crate::app`]), the application buffers, the non-ILP
+//! intermediate buffers, and the instruction footprints of every loop —
+//! laid out in a single [`AddressSpace`] that can back either a
+//! [`memsim::NativeMem`] or a [`memsim::SimMem`].
+//!
+//! The address space is laid out the way the paper's C process image
+//! would be: tables and static buffers first, connection state and ring
+//! buffers next, application data last. Cache conflicts between the
+//! streamed buffers and the cipher tables arise from this natural layout
+//! and the simulated cache geometry, not from contrived placement.
+
+use cipher::{CipherKernel, Des, SaferK64, SimplifiedSafer, VerySimple};
+use memsim::layout::AddressSpace;
+use memsim::region::{Region, RegionKind};
+use memsim::{CodeRegion, Mem};
+use utcp::{Connection, Loopback, UtcpConfig};
+
+/// Which cipher the suite runs — the paper's §4.1 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CipherChoice {
+    /// The simplified SAFER K-64 of §3.1 (tables + byte-grain).
+    SimplifiedSafer,
+    /// The very simple constant cipher of §4.1 (no tables, word-grain).
+    VerySimple,
+}
+
+/// The protocol environment, generic over the cipher kernel.
+#[derive(Debug)]
+pub struct Suite<C> {
+    /// The encryption layer's kernel.
+    pub cipher: C,
+    /// Loop-back network + kernel buffers.
+    pub lb: Loopback,
+    /// Data sender (the file server side).
+    pub tx: Connection,
+    /// Data receiver (the client side).
+    pub rx: Connection,
+    /// Request sender (client → server; requests are small and always
+    /// travel the non-ILP path, as in the paper's experiment which
+    /// measures the bulk reply direction).
+    pub req_tx: Connection,
+    /// Request receiver (server side).
+    pub req_rx: Connection,
+    /// The server's file (application data to transmit).
+    pub file: Region,
+    /// The client's reassembled output file.
+    pub app_out: Region,
+    /// Non-ILP: marshalling output buffer.
+    pub marshal_buf: Region,
+    /// Non-ILP: encryption output buffer.
+    pub encrypt_buf: Region,
+    /// Non-ILP: decryption output buffer.
+    pub decrypt_buf: Region,
+    /// ILP staging buffer for the pre-manipulation policy (§3.2.2, when
+    /// the ring is full).
+    pub staging: Region,
+    /// Instruction footprint of the fused send loop (marshal + encrypt +
+    /// checksum + store — the paper's ~3% code-size cost of inlining).
+    pub code_ilp_send: CodeRegion,
+    /// Instruction footprint of the fused receive loop.
+    pub code_ilp_recv: CodeRegion,
+    /// Non-ILP marshalling loop footprint.
+    pub code_marshal: CodeRegion,
+    /// Non-ILP unmarshal+copy loop footprint.
+    pub code_unmarshal: CodeRegion,
+    /// Non-ILP checksum pass footprint.
+    pub code_checksum: CodeRegion,
+    /// `tcp_send` copy loop footprint.
+    pub code_copy: CodeRegion,
+}
+
+/// Maximum file size the suite's buffers accommodate.
+pub const MAX_FILE: usize = 64 * 1024;
+/// Maximum single message (plaintext, padded) size.
+pub const MAX_MSG: usize = 2048;
+
+impl Suite<SimplifiedSafer> {
+    /// Build a suite running the paper's simplified SAFER K-64.
+    pub fn simplified(space: &mut AddressSpace) -> Self {
+        let cipher = SimplifiedSafer::alloc(space);
+        Self::with_cipher(space, cipher)
+    }
+}
+
+impl Suite<VerySimple> {
+    /// Build a suite running the very simple cipher.
+    pub fn very_simple(space: &mut AddressSpace) -> Self {
+        let cipher = VerySimple::alloc(space);
+        Self::with_cipher(space, cipher)
+    }
+}
+
+impl Suite<SaferK64> {
+    /// Build a suite running the *full* SAFER K-64 — the cipher the
+    /// paper deemed "still too time consuming" (ablation only).
+    pub fn full_safer(space: &mut AddressSpace, rounds: usize) -> Self {
+        let cipher = SaferK64::alloc(space, rounds);
+        Self::with_cipher(space, cipher)
+    }
+}
+
+impl Suite<Des> {
+    /// Build a suite running DES — the cipher that "can hide totally the
+    /// ILP performance gain" (ablation only).
+    pub fn des(space: &mut AddressSpace) -> Self {
+        let cipher = Des::alloc(space);
+        Self::with_cipher(space, cipher)
+    }
+}
+
+impl<C: CipherKernel> Suite<C> {
+    /// Assemble the environment around an already-allocated cipher.
+    pub fn with_cipher(space: &mut AddressSpace, cipher: C) -> Self {
+        let mut lb = Loopback::new(space);
+        let tx_cfg = UtcpConfig { local_port: 4000, peer_port: 5000, ..Default::default() };
+        let rx_cfg = UtcpConfig {
+            local_port: 5000,
+            peer_port: 4000,
+            local_ip: tx_cfg.peer_ip,
+            peer_ip: tx_cfg.local_ip,
+            ..Default::default()
+        };
+        let mut tx = Connection::new(space, &mut lb, tx_cfg, 0x1000);
+        let mut rx = Connection::new(space, &mut lb, rx_cfg, 0x9000);
+        rx.set_peer_iss(0x1000);
+        tx.set_peer_iss(0x9000);
+        // Second uni-directional pair for the request direction.
+        let req_tx_cfg = UtcpConfig { local_port: 6000, peer_port: 7000, ..Default::default() };
+        let req_rx_cfg = UtcpConfig {
+            local_port: 7000,
+            peer_port: 6000,
+            local_ip: req_tx_cfg.peer_ip,
+            peer_ip: req_tx_cfg.local_ip,
+            ..Default::default()
+        };
+        let mut req_tx = Connection::new(space, &mut lb, req_tx_cfg, 0x4000);
+        let mut req_rx = Connection::new(space, &mut lb, req_rx_cfg, 0xC000);
+        req_rx.set_peer_iss(0x4000);
+        req_tx.set_peer_iss(0xC000);
+
+        let marshal_buf = space.alloc_kind("marshal_buf", MAX_MSG, 8, RegionKind::Buffer);
+        let encrypt_buf = space.alloc_kind("encrypt_buf", MAX_MSG, 8, RegionKind::Buffer);
+        let decrypt_buf = space.alloc_kind("decrypt_buf", MAX_MSG, 8, RegionKind::Buffer);
+        let staging = space.alloc_kind("ilp_staging", MAX_MSG, 8, RegionKind::Buffer);
+        let file = space.alloc_kind("app_file", MAX_FILE, 64, RegionKind::AppData);
+        let app_out = space.alloc_kind("app_out", MAX_FILE, 64, RegionKind::AppData);
+
+        // Instruction footprints. The fused loops carry the sum of their
+        // constituent bodies plus glue — measured in the paper as ≈3%
+        // total code growth from inlining.
+        let code_marshal = space.alloc_code("marshal_loop", 240);
+        let code_unmarshal = space.alloc_code("unmarshal_loop", 280);
+        let code_checksum = space.alloc_code("checksum_loop", 96);
+        let code_copy = space.alloc_code("tcp_send_copy", 64);
+        let code_ilp_send = space.alloc_code("ilp_send_loop", 240 + 480 + 96 + 120);
+        let code_ilp_recv = space.alloc_code("ilp_recv_loop", 280 + 560 + 96 + 120);
+
+        Suite {
+            cipher,
+            lb,
+            tx,
+            rx,
+            req_tx,
+            req_rx,
+            file,
+            app_out,
+            marshal_buf,
+            encrypt_buf,
+            decrypt_buf,
+            staging,
+            code_ilp_send,
+            code_ilp_recv,
+            code_marshal,
+            code_unmarshal,
+            code_checksum,
+            code_copy,
+        }
+    }
+
+    /// Cipher block / processing-unit size.
+    pub fn block(&self) -> usize {
+        C::UNIT
+    }
+}
+
+/// Initialise key material in a memory world. Separated from
+/// construction because each world (native arena, per-host simulations)
+/// needs its own pass; run before taking measurement phases.
+pub trait SuiteInit<M: Mem> {
+    /// Write tables and keys.
+    fn init_world(&self, m: &mut M);
+}
+
+impl<M: Mem> SuiteInit<M> for Suite<SimplifiedSafer> {
+    fn init_world(&self, m: &mut M) {
+        self.cipher.init(m, *b"ILP95key");
+    }
+}
+
+impl<M: Mem> SuiteInit<M> for Suite<VerySimple> {
+    fn init_world(&self, _m: &mut M) {}
+}
+
+impl<M: Mem> SuiteInit<M> for Suite<SaferK64> {
+    fn init_world(&self, m: &mut M) {
+        self.cipher.init(m, *b"ILP95key");
+    }
+}
+
+impl<M: Mem> SuiteInit<M> for Suite<Des> {
+    fn init_world(&self, m: &mut M) {
+        self.cipher.init(m, 0x1334_5779_9BBC_DFF1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_with_both_ciphers() {
+        let mut space = AddressSpace::new();
+        let s = Suite::simplified(&mut space);
+        assert_eq!(s.block(), 8);
+        let mut space2 = AddressSpace::new();
+        let s2 = Suite::very_simple(&mut space2);
+        assert_eq!(s2.block(), 4);
+    }
+
+    #[test]
+    fn regions_are_distinct() {
+        let mut space = AddressSpace::new();
+        let s = Suite::simplified(&mut space);
+        let regions = [s.file, s.app_out, s.marshal_buf, s.encrypt_buf, s.decrypt_buf, s.staging];
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(a.end() <= b.base || b.end() <= a.base, "{} overlaps {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_code_is_larger_than_parts_but_modest() {
+        let mut space = AddressSpace::new();
+        let s = Suite::simplified(&mut space);
+        let parts = s.code_marshal.len + 480 + s.code_checksum.len;
+        assert!(s.code_ilp_send.len > parts);
+        assert!(s.code_ilp_send.len < parts + parts / 4, "glue should stay small");
+    }
+}

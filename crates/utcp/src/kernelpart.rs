@@ -1,0 +1,345 @@
+//! The kernel part: datagram transport + demultiplexing + loop-back.
+//!
+//! The paper's user-level TCP splits into a per-application library (the
+//! protocol machine, [`crate::conn::Connection`]) and a kernel component
+//! with "similar functionality as UDP without checksum" (§3.1): on send
+//! it passes TPDUs to IP, on receive it demultiplexes IP packets to the
+//! user-level TCP connection of the right application. The experiments
+//! ran over loop-back on a single machine — [`Loopback`] models exactly
+//! that: datagrams are copied into kernel buffer slots (the send-side
+//! *system copy*), queued per destination port, and handed to the
+//! receiving endpoint (whose receive-side system copy is performed by
+//! the connection).
+//!
+//! [`FaultPlan`] injects deterministic drops, duplicates and reorders for
+//! the retransmission tests — the loop-back of the paper never loses
+//! packets, but the TCP above it must still be a real TCP.
+
+use crate::ip::{Ipv4Header, IP_HEADER_LEN};
+use memsim::layout::AddressSpace;
+use memsim::region::{Region, RegionKind};
+use memsim::{CodeRegion, Mem};
+use std::collections::VecDeque;
+
+/// Identifies a registered endpoint (index into the loop-back's tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointId(usize);
+
+/// A datagram sitting in a kernel buffer slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Datagram {
+    /// Address of the first byte (the IPv4 header) in the kernel buffer.
+    pub addr: usize,
+    /// Total length: IP header + TCP header + payload.
+    pub len: usize,
+}
+
+/// Deterministic fault injection for tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Drop every `n`-th datagram (1-based count; 0 = never).
+    pub drop_every: usize,
+    /// Duplicate every `n`-th datagram (0 = never).
+    pub dup_every: usize,
+    /// Swap every `n`-th datagram with its successor (0 = never).
+    pub reorder_every: usize,
+}
+
+/// Per-endpoint state inside the kernel part.
+#[derive(Debug)]
+struct Endpoint {
+    port: u16,
+    queue: VecDeque<Datagram>,
+}
+
+/// The in-process loop-back network + kernel buffers.
+#[derive(Debug)]
+pub struct Loopback {
+    slots: Region,
+    slot_size: usize,
+    n_slots: usize,
+    next_slot: usize,
+    endpoints: Vec<Endpoint>,
+    fault: FaultPlan,
+    /// Instruction footprint of the trap/IP/driver path, executed per
+    /// datagram — the code that competes with the protocol loops for the
+    /// I-cache (decisive on the Alpha's 8 KB I-cache, §4.2).
+    code_os: CodeRegion,
+    /// Data working set of the kernel + scheduler + the *other* process
+    /// touched on every crossing. The paper ran sender and receiver as
+    /// two processes on one CPU: each loop-back packet context-switches
+    /// through the kernel, evicting a large share of the data cache —
+    /// which is why even the non-ILP implementation's passes run partly
+    /// cold (§4.2's high absolute miss counts).
+    os_data: Region,
+    /// IP identification counter.
+    next_ident: u16,
+    sent: u64,
+    /// Datagrams dropped by fault injection.
+    pub dropped: u64,
+    /// Datagrams that arrived for a port nobody listens on.
+    pub unroutable: u64,
+}
+
+/// Default kernel slot size: room for header + the largest paper TPDU.
+const DEFAULT_SLOT: usize = 2048;
+/// Default number of kernel buffer slots.
+const DEFAULT_SLOTS: usize = 64;
+
+impl Loopback {
+    /// Allocate the kernel buffer area in `space`.
+    pub fn new(space: &mut AddressSpace) -> Self {
+        let slots =
+            space.alloc_kind("kernel_slots", DEFAULT_SLOT * DEFAULT_SLOTS, 64, RegionKind::Kernel);
+        let code_os = space.alloc_code("os_ip_driver", 6 * 1024);
+        // 16 KB region walked at every-other-line stride: the kernel +
+        // scheduler + peer process working set is scattered across the
+        // whole cache index space, evicting ~half of every buffer's
+        // lines per crossing instead of one contiguous alias window.
+        let os_data = space.alloc_kind("os_working_set", 16 * 1024, 64, RegionKind::Kernel);
+        Loopback {
+            slots,
+            slot_size: DEFAULT_SLOT,
+            n_slots: DEFAULT_SLOTS,
+            next_slot: 0,
+            endpoints: Vec::new(),
+            fault: FaultPlan::default(),
+            code_os,
+            os_data,
+            next_ident: 1,
+            sent: 0,
+            dropped: 0,
+            unroutable: 0,
+        }
+    }
+
+    /// Register a listening port; returns the endpoint handle.
+    pub fn register(&mut self, port: u16) -> EndpointId {
+        assert!(
+            self.endpoints.iter().all(|e| e.port != port),
+            "port {port} already registered"
+        );
+        self.endpoints.push(Endpoint { port, queue: VecDeque::new() });
+        EndpointId(self.endpoints.len() - 1)
+    }
+
+    /// Install a fault plan (tests only).
+    pub fn set_faults(&mut self, fault: FaultPlan) {
+        self.fault = fault;
+    }
+
+    /// Total datagrams accepted for transmission.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Send a segment: the **send-side system copy** of header + payload
+    /// from user memory into a kernel slot, IP encapsulation ("pass the
+    /// messages received from the user-level TCP to IP"), then
+    /// demultiplexing into the destination port's queue. `payload_len`
+    /// may be zero (pure ACK).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send<M: Mem>(
+        &mut self,
+        m: &mut M,
+        src_ip: u32,
+        dst_ip: u32,
+        dst_port: u16,
+        hdr_addr: usize,
+        payload_addr: usize,
+        payload_len: usize,
+    ) {
+        let tcp_total = crate::wire::TCP_HEADER_LEN + payload_len;
+        let total = IP_HEADER_LEN + tcp_total;
+        assert!(total <= self.slot_size, "segment exceeds kernel slot / link MTU");
+        let slot = self.slots.at(self.next_slot * self.slot_size);
+        self.next_slot = (self.next_slot + 1) % self.n_slots;
+        // Kernel work: accounted to the System phase, not to
+        // packet-processing time.
+        m.phase_push(memsim::mem::PhaseTag::System);
+        let ident = self.next_ident;
+        self.next_ident = self.next_ident.wrapping_add(1);
+        Ipv4Header::at(slot).build(m, src_ip, dst_ip, tcp_total, ident, 0, false, 64);
+        m.copy(hdr_addr, slot + IP_HEADER_LEN, crate::wire::TCP_HEADER_LEN);
+        if payload_len > 0 {
+            m.copy(payload_addr, slot + IP_HEADER_LEN + crate::wire::TCP_HEADER_LEN, payload_len);
+        }
+        m.compute(30); // trap/syscall bookkeeping, not modelled per-access
+        m.fetch(self.code_os);
+        // Context switch: the kernel + scheduler + peer process touch
+        // their own working set, evicting protocol data from the cache.
+        for line in (0..self.os_data.len).step_by(64) {
+            let _ = m.read_u32_be(self.os_data.at(line));
+        }
+        m.phase_pop();
+        self.sent += 1;
+
+        // Fault injection.
+        let n = self.sent as usize;
+        if self.fault.drop_every != 0 && n.is_multiple_of(self.fault.drop_every) {
+            self.dropped += 1;
+            return;
+        }
+        let datagram = Datagram { addr: slot, len: total };
+        let Some(endpoint) = self.endpoints.iter_mut().find(|e| e.port == dst_port) else {
+            self.unroutable += 1;
+            return;
+        };
+        endpoint.queue.push_back(datagram);
+        if self.fault.dup_every != 0 && n.is_multiple_of(self.fault.dup_every) {
+            endpoint.queue.push_back(datagram);
+        }
+        if self.fault.reorder_every != 0 && n.is_multiple_of(self.fault.reorder_every) {
+            let qlen = endpoint.queue.len();
+            if qlen >= 2 {
+                endpoint.queue.swap(qlen - 1, qlen - 2);
+            }
+        }
+    }
+
+    /// Dequeue the next datagram for an endpoint, if any.
+    pub fn recv(&mut self, id: EndpointId) -> Option<Datagram> {
+        self.endpoints[id.0].queue.pop_front()
+    }
+
+    /// Number of datagrams waiting for an endpoint.
+    pub fn pending(&self, id: EndpointId) -> usize {
+        self.endpoints[id.0].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TCP_HEADER_LEN;
+    use memsim::NativeMem;
+
+    fn fixture() -> (AddressSpace, Loopback, Region) {
+        let mut space = AddressSpace::new();
+        let lb = Loopback::new(&mut space);
+        let user = space.alloc("user", 4096, 8);
+        (space, lb, user)
+    }
+
+    #[test]
+    fn send_copies_and_demultiplexes() {
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for i in 0..TCP_HEADER_LEN {
+            m.write_u8(user.at(i), i as u8);
+        }
+        for i in 0..8 {
+            m.write_u8(user.at(64 + i), 0xA0 + i as u8);
+        }
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 8);
+        let d = lb.recv(rx).expect("delivered");
+        assert_eq!(d.len, IP_HEADER_LEN + TCP_HEADER_LEN + 8);
+        // IP header first, then the TCP header bytes, then the payload.
+        let ip = Ipv4Header::at(d.addr);
+        assert!(ip.verify(&mut m));
+        assert_eq!(ip.total_len(&mut m), d.len);
+        assert_eq!(m.bytes(d.addr + IP_HEADER_LEN, 4), &[0, 1, 2, 3]);
+        assert_eq!(
+            m.bytes(d.addr + IP_HEADER_LEN + TCP_HEADER_LEN, 8),
+            &[0xA0, 0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7]
+        );
+        assert!(lb.recv(rx).is_none());
+    }
+
+    #[test]
+    fn unknown_port_counted_unroutable() {
+        let (space, mut lb, user) = fixture();
+        let _rx = lb.register(80);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        lb.send(&mut m, 1, 2, 81, user.at(0), user.at(64), 0);
+        assert_eq!(lb.unroutable, 1);
+    }
+
+    #[test]
+    fn drop_every_third() {
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        lb.set_faults(FaultPlan { drop_every: 3, ..Default::default() });
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for _ in 0..9 {
+            lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 4);
+        }
+        assert_eq!(lb.dropped, 3);
+        assert_eq!(lb.pending(rx), 6);
+    }
+
+    #[test]
+    fn duplicate_and_reorder() {
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        lb.set_faults(FaultPlan { dup_every: 2, ..Default::default() });
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
+        assert_eq!(lb.pending(rx), 3); // second duplicated
+
+        let mut lb2 = {
+            let (s2, mut l2, u2) = fixture();
+            let r2 = l2.register(90);
+            l2.set_faults(FaultPlan { reorder_every: 2, ..Default::default() });
+            let mut a2 = s2.native_arena();
+            let mut m2 = NativeMem::new(&mut a2);
+            m2.write_u8(u2.at(0), 1);
+            l2.send(&mut m2, 1, 2, 90, u2.at(0), u2.at(64), 0);
+            m2.write_u8(u2.at(0), 2);
+            l2.send(&mut m2, 1, 2, 90, u2.at(0), u2.at(64), 0);
+            let first = l2.recv(r2).unwrap();
+            // Reordered: the second-sent datagram comes out first.
+            assert_eq!(m2.bytes(first.addr + IP_HEADER_LEN, 1)[0], 2);
+            l2
+        };
+        let _ = &mut lb2;
+    }
+
+    #[test]
+    fn slots_recycle_round_robin() {
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        let mut addrs = std::collections::HashSet::new();
+        for _ in 0..DEFAULT_SLOTS {
+            lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
+            addrs.insert(lb.recv(rx).unwrap().addr);
+        }
+        assert_eq!(addrs.len(), DEFAULT_SLOTS);
+        // The next send reuses the first slot.
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
+        assert!(addrs.contains(&lb.recv(rx).unwrap().addr));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_port_rejected() {
+        let (_space, mut lb, _user) = fixture();
+        lb.register(80);
+        lb.register(80);
+    }
+
+    #[test]
+    fn system_copy_is_counted() {
+        use memsim::{HostModel, RegionKind, SimMem};
+        let mut space = AddressSpace::new();
+        let mut lb = Loopback::new(&mut space);
+        let _rx = lb.register(80);
+        let user = space.alloc("user", 4096, 8);
+        let mut m = SimMem::new(&space, &HostModel::ss10_30());
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 100);
+        let s = m.stats();
+        // IP header build (11 stores) + TCP header (5 words) + 100-byte
+        // payload (25 words); reads additionally include the
+        // context-switch working-set walk and the IP checksum pass.
+        assert_eq!(s.writes_for(RegionKind::Kernel).total(), 30 + 11);
+        assert!(s.reads.total() >= 30 + 16 * 1024 / 64);
+    }
+}

@@ -1,0 +1,54 @@
+//! # utcp — user-level TCP over an in-process "kernel part"
+//!
+//! Reproduction of the transport substrate of the paper (§3.1, citing
+//! Hoglander's INRIA user-level TCP): TCP runs as a library in the
+//! application's address space, while a thin kernel part — functionally
+//! "similar [to] UDP without checksum" — moves datagrams between
+//! endpoints and demultiplexes them to the right user-level connection.
+//! The paper ran sender and receiver on one machine over loop-back;
+//! [`kernelpart::Loopback`] does the same in-process.
+//!
+//! Protocol profile, per the paper:
+//!
+//! * fixed 20-byte TCP headers, **no options** ("TCP header options are
+//!   avoided to ensure fixed-size headers");
+//! * a connection carries data in **one direction only**; the reverse
+//!   direction carries pure ACKs;
+//! * one TSDU maps to exactly one TPDU (the ALF rule) — no segmentation
+//!   or concatenation inside TCP;
+//! * a ring buffer holds sent-but-unacknowledged data for retransmission;
+//!   its geometry is exposed to the ILP loop, which writes transformed
+//!   data straight into it ([`ring::RingWriter`] implements
+//!   [`ilp_core::UnitSink`]).
+//!
+//! ILP integration points:
+//!
+//! * **send**: [`conn::Connection::begin_ilp_send`] hands out a ring
+//!   writer; the fused marshal+encrypt+checksum loop stores into it, and
+//!   [`conn::Connection::commit_send`] builds the header from the
+//!   register-resident checksum — no separate checksum pass.
+//!   The non-ILP [`conn::Connection::send_buf`] instead copies
+//!   (`tcp_send`) and then reads everything again to checksum
+//!   (`tcp_output`), as in the paper's Figure 3.
+//! * **receive**: [`conn::Connection::recv_raw`] performs the system
+//!   copy and header parse (the *initial* stage), the caller fuses
+//!   checksum+decrypt+unmarshal over the staged payload (*integrated*),
+//!   and [`conn::Connection::finish_recv`] renders the accept/reject
+//!   verdict and emits the ACK (*final*) — the three-stage split of
+//!   §2.1, enforced by `ilp_core::three_stage`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod ip;
+pub mod kernel_model;
+pub mod kernelpart;
+pub mod ring;
+pub mod wire;
+
+pub use conn::{Connection, Delivered, SendError, UtcpConfig};
+pub use kernelpart::{Datagram, EndpointId, FaultPlan, Loopback};
+pub use ring::{RingWriter, SendRing};
+pub use ip::{Ipv4Header, IP_HEADER_LEN};
+pub use wire::{TcpFlags, TcpHeader, TCP_HEADER_LEN};

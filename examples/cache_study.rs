@@ -1,0 +1,75 @@
+//! Cache-behaviour study: what the memory hierarchy sees when the same
+//! protocol work runs fused vs layered — the §4.2 analysis as a
+//! self-contained example.
+//!
+//! ```bash
+//! cargo run --release --example cache_study
+//! ```
+//!
+//! Runs the file-transfer workload on two very different 1995 machines
+//! (SPARCstation 10-30: 16 KB write-allocate L1, no L2; DEC AXP
+//! 3000/500: 8 KB write-through L1 + 512 KB board cache) and prints
+//! access counts by size, miss counts, and the derived times.
+
+use ilp_repro::memsim::{AddressSpace, HostModel, RunStats, SimMem, SizeClass};
+use ilp_repro::rpcapp::app::{FileTransfer, Path};
+use ilp_repro::rpcapp::suite::{Suite, SuiteInit};
+
+fn study(host: &HostModel, path: Path) -> RunStats {
+    let mut space = AddressSpace::new();
+    let mut suite = Suite::simplified(&mut space);
+    let mut m = SimMem::new(&space, host);
+    suite.init_world(&mut m);
+    let xfer = FileTransfer { file_len: 15 * 1024, chunk: 1024, copies: 2 };
+    xfer.fill_file(&suite, &mut m);
+    let _ = m.take_phase_stats();
+    xfer.run(&mut suite, &mut m, path);
+    let (user, _system) = m.take_phase_stats();
+    user
+}
+
+fn print_stats(label: &str, host: &HostModel, s: &RunStats) {
+    println!("  {label}:");
+    println!(
+        "    reads : {:>7} total  ({} ×1B, {} ×2B, {} ×4B, {} ×8B)",
+        s.reads.total(),
+        s.reads.by_size(SizeClass::B1),
+        s.reads.by_size(SizeClass::B2),
+        s.reads.by_size(SizeClass::B4),
+        s.reads.by_size(SizeClass::B8),
+    );
+    println!(
+        "    writes: {:>7} total  ({} ×1B, {} ×4B)",
+        s.writes.total(),
+        s.writes.by_size(SizeClass::B1),
+        s.writes.by_size(SizeClass::B4),
+    );
+    println!(
+        "    misses: {} read, {} write  (ratio {:.1}%)",
+        s.total_read_misses(),
+        s.total_write_misses(),
+        s.data_miss_ratio() * 100.0
+    );
+    println!("    simulated user time: {:.0} µs", host.cost(s).total_us);
+}
+
+fn main() {
+    for host in [HostModel::ss10_30(), HostModel::axp3000_500()] {
+        println!(
+            "=== {} — {} ({} KB L1d, {}) ===",
+            host.name,
+            host.os,
+            host.l1d.size / 1024,
+            if host.l2.is_some() { "with L2" } else { "no L2" }
+        );
+        let non = study(&host, Path::NonIlp);
+        let ilp = study(&host, Path::Ilp);
+        print_stats("non-ILP", &host, &non);
+        print_stats("ILP", &host, &ilp);
+        let (r, w) = ilp.savings_vs(&non);
+        println!("  → ILP saves {r} reads, {w} writes on this machine\n");
+    }
+    println!("Note the paper's surprise: ILP's win is fewer *accesses*, not a");
+    println!("better hit rate — the byte-grain cipher can even make the miss");
+    println!("ratio worse while the absolute time still improves.");
+}

@@ -1,0 +1,34 @@
+//! # ilp-repro — umbrella crate
+//!
+//! Reproduction of Torsten Braun and Christophe Diot, *Protocol
+//! Implementation Using Integrated Layer Processing*, ACM SIGCOMM 1995.
+//!
+//! This crate re-exports the whole workspace so that examples, integration
+//! tests and downstream users can reach every subsystem through one
+//! dependency:
+//!
+//! * [`ilp`] ([`ilp_core`]) — the paper's contribution: the Integrated
+//!   Layer Processing framework (stage fusion, word filters, LCM
+//!   processing-unit negotiation, three-stage pipelines, part-A/B/C
+//!   message segmentation).
+//! * [`memsim`] — instrumented memory, cache simulation, and 1995
+//!   workstation cost models (the Shade `cachesim` / ATOM stand-in).
+//! * [`checksum`] — Internet checksum (RFC 1071) and CRC-32.
+//! * [`cipher`] — SAFER K-64, the paper's simplified SAFER, the very
+//!   simple table-free cipher, and DES.
+//! * [`xdr`] — XDR marshalling runtime and MAVROS-like stub generation.
+//! * [`utcp`] — user-level TCP over an in-process loop-back kernel part.
+//! * [`rpcapp`] — the file-transfer application with ILP and non-ILP
+//!   send/receive paths.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results of every table and
+//! figure.
+
+pub use checksum;
+pub use cipher;
+pub use ilp_core as ilp;
+pub use memsim;
+pub use rpcapp;
+pub use utcp;
+pub use xdr;

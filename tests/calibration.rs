@@ -1,0 +1,118 @@
+//! Calibration gates: the simulated hosts must stay near the paper's
+//! Table 1 and preserve its qualitative shapes. Tolerances are
+//! deliberately generous (the absolute numbers are a calibration
+//! outcome, see DESIGN.md §2) — these tests catch *regressions in the
+//! simulation*, not 1995 hardware fidelity.
+//!
+//! Run with `--release` for speed; in debug they still pass but take
+//! tens of seconds.
+
+use bench::measure::{measure, MeasureCfg};
+use bench::paper;
+use ilp_repro::memsim::HostModel;
+use ilp_repro::rpcapp::app::Path;
+
+fn cfg(chunk: usize) -> MeasureCfg {
+    MeasureCfg { chunk, packets: 24, warmup: 5, attribute_regions: false }
+}
+
+fn within(measured: f64, paper_value: f64, tolerance: f64) -> bool {
+    (measured - paper_value).abs() <= tolerance * paper_value
+}
+
+#[test]
+fn one_kilobyte_results_within_band_of_table1() {
+    // ±35% band on every 1 KB cell, every host, both paths.
+    for host in HostModel::all() {
+        let ilp = measure(&host, cfg(1024), Path::Ilp);
+        let non = measure(&host, cfg(1024), Path::NonIlp);
+        let p = paper::table1(host.name, 1024).unwrap();
+        for (what, m, pv) in [
+            ("ilp_send", ilp.send_us, p.ilp_send),
+            ("ilp_recv", ilp.recv_us, p.ilp_recv),
+            ("non_send", non.send_us, p.non_send),
+            ("non_recv", non.recv_us, p.non_recv),
+            ("ilp_tput", ilp.throughput_mbps, p.ilp_tput),
+            ("non_tput", non.throughput_mbps, p.non_tput),
+        ] {
+            assert!(
+                within(m, pv, 0.35),
+                "{}/{}: measured {:.1} vs paper {:.1}",
+                host.name,
+                what,
+                m,
+                pv
+            );
+        }
+    }
+}
+
+#[test]
+fn ilp_always_wins_on_sparcs_at_1k() {
+    for host in [HostModel::ss10_30(), HostModel::ss10_41(), HostModel::ss10_51(), HostModel::ss20_60()] {
+        let ilp = measure(&host, cfg(1024), Path::Ilp);
+        let non = measure(&host, cfg(1024), Path::NonIlp);
+        assert!(ilp.send_us < non.send_us, "{} send", host.name);
+        assert!(ilp.recv_us < non.recv_us, "{} recv", host.name);
+        assert!(ilp.throughput_mbps > non.throughput_mbps, "{} tput", host.name);
+    }
+}
+
+#[test]
+fn absolute_gain_grows_with_packet_size() {
+    // §4.1: "the performance gaps between the ILP and the non-ILP
+    // implementations increase nearly proportionally to the packet size".
+    let host = HostModel::ss10_30();
+    let gap = |size| {
+        let ilp = measure(&host, cfg(size), Path::Ilp);
+        let non = measure(&host, cfg(size), Path::NonIlp);
+        non.send_us - ilp.send_us
+    };
+    let small = gap(256);
+    let large = gap(1280);
+    assert!(large > 2.0 * small, "gap {small:.0} → {large:.0} µs");
+}
+
+#[test]
+fn relative_gain_larger_on_faster_sparc() {
+    // §4.1: absolute difference shrinks on the faster machine but the
+    // relative benefit grows (SS10-30 16% → SS20-60 24% on send).
+    let rel_gain = |host: &HostModel| {
+        let ilp = measure(host, cfg(1024), Path::Ilp);
+        let non = measure(host, cfg(1024), Path::NonIlp);
+        (
+            non.send_us - ilp.send_us,
+            (non.send_us - ilp.send_us) / non.send_us,
+        )
+    };
+    let (abs_slow, rel_slow) = rel_gain(&HostModel::ss10_30());
+    let (abs_fast, rel_fast) = rel_gain(&HostModel::ss20_60());
+    assert!(abs_fast < abs_slow, "absolute gap must shrink: {abs_slow:.0} vs {abs_fast:.0}");
+    // The paper's relative gain *grows* on the faster machine (16% →
+    // 24%); our cost model keeps it roughly flat (see EXPERIMENTS.md,
+    // E1/E2 deviations) — gate only against collapse.
+    assert!(rel_fast > rel_slow * 0.75, "relative gain must not collapse: {rel_slow:.2} vs {rel_fast:.2}");
+}
+
+#[test]
+fn alpha_gains_are_smaller_than_sparc_gains() {
+    // §4.1: "the benefits of ILP on DEC AXP3000 workstations are smaller
+    // than on the SUN SPARCstations".
+    let rel = |host: &HostModel| {
+        let ilp = measure(host, cfg(1024), Path::Ilp);
+        let non = measure(host, cfg(1024), Path::NonIlp);
+        (non.total_us() - ilp.total_us()) / non.total_us()
+    };
+    let sparc = rel(&HostModel::ss20_60());
+    let alpha = rel(&HostModel::axp3000_800());
+    assert!(alpha < sparc, "alpha {alpha:.3} !< sparc {sparc:.3}");
+}
+
+#[test]
+fn throughput_rises_with_packet_size() {
+    for host in [HostModel::ss20_60(), HostModel::axp3000_800()] {
+        let t256 = measure(&host, cfg(256), Path::Ilp).throughput_mbps;
+        let t1280 = measure(&host, cfg(1280), Path::Ilp).throughput_mbps;
+        assert!(t1280 > 2.0 * t256, "{}: {t256:.2} → {t1280:.2}", host.name);
+    }
+}

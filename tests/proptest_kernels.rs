@@ -1,0 +1,142 @@
+//! Property tests on the data-manipulation kernels: every cipher is a
+//! bijection under its key, the checksum is order-insensitive and
+//! incremental-safe, XDR round-trips, and the segment planner always
+//! tiles.
+
+use ilp_repro::checksum::internet::{add_buf, checksum_buf, InetChecksum};
+use ilp_repro::cipher::{decrypt_buf, encrypt_buf, CipherKernel, Des, SaferK64, SimplifiedSafer, VerySimple};
+use ilp_repro::ilp::{Ordering, PartKind, SegmentPlan};
+use ilp_repro::memsim::{AddressSpace, NativeMem};
+use ilp_repro::xdr::{XdrDecoder, XdrEncoder};
+use proptest::prelude::*;
+
+fn buf_roundtrip<C: CipherKernel>(c: &C, init: impl FnOnce(&mut NativeMem<'_>), data: &[u8], space: AddressSpace, src: usize, enc: usize, dec: usize) {
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    init(&mut m);
+    m.bytes_mut(src, data.len()).copy_from_slice(data);
+    encrypt_buf(c, &mut m, src, enc, data.len());
+    decrypt_buf(c, &mut m, enc, dec, data.len());
+    assert_eq!(m.bytes(dec, data.len()), data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simplified_safer_roundtrips(key in any::<[u8; 8]>(), blocks in 1usize..32, seed in any::<u64>()) {
+        let mut space = AddressSpace::new();
+        let c = SimplifiedSafer::alloc(&mut space);
+        let src = space.alloc("src", 256, 8);
+        let enc = space.alloc("enc", 256, 8);
+        let dec = space.alloc("dec", 256, 8);
+        let data: Vec<u8> = (0..blocks * 8).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8).collect();
+        buf_roundtrip(&c, |m| c.init(m, key), &data, space, src.base, enc.base, dec.base);
+    }
+
+    #[test]
+    fn full_safer_roundtrips(key in any::<[u8; 8]>(), rounds in 1usize..=8, block in any::<u64>()) {
+        let mut space = AddressSpace::new();
+        let c = SaferK64::alloc(&mut space, rounds);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        c.init(&mut m, key);
+        let e = c.encrypt_unit(&mut m, block);
+        prop_assert_eq!(c.decrypt_unit(&mut m, e), block);
+    }
+
+    #[test]
+    fn des_roundtrips(key in any::<u64>(), block in any::<u64>()) {
+        let mut space = AddressSpace::new();
+        let c = Des::alloc(&mut space);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        c.init(&mut m, key);
+        let e = c.encrypt_unit(&mut m, block);
+        prop_assert_eq!(c.decrypt_unit(&mut m, e), block);
+    }
+
+    #[test]
+    fn very_simple_roundtrips(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+        for w in words {
+            prop_assert_eq!(VerySimple::decrypt_word(VerySimple::encrypt_word(w)), w);
+        }
+    }
+
+    #[test]
+    fn checksum_is_split_invariant(data in proptest::collection::vec(any::<u8>(), 2..600), split_frac in 0.0f64..1.0) {
+        // Any even split produces the same folded sum when combined —
+        // the property behind the B→C→A schedule.
+        let mut space = AddressSpace::new();
+        let len = data.len() & !1; // even
+        let buf = space.alloc("buf", len.max(2), 8);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(buf.base, len).copy_from_slice(&data[..len]);
+        let whole = checksum_buf(&mut m, buf.base, len).finish();
+        let split = (((len as f64) * split_frac) as usize) & !1;
+        let a = checksum_buf(&mut m, buf.base, split);
+        let b = checksum_buf(&mut m, buf.base + split, len - split);
+        // Combine in both orders.
+        for (first, second) in [(a, b), (b, a)] {
+            let mut s = InetChecksum::new();
+            s.combine(first);
+            s.combine(second);
+            prop_assert_eq!(s.finish(), whole);
+        }
+    }
+
+    #[test]
+    fn checksum_incremental_equals_one_shot(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut space = AddressSpace::new();
+        let buf = space.alloc("buf", data.len().max(1), 8);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(buf.base, data.len()).copy_from_slice(&data);
+        let one = checksum_buf(&mut m, buf.base, data.len()).finish();
+        // Incremental over 4-byte-aligned chunks.
+        let mut s = InetChecksum::new();
+        let mut off = 0;
+        while off < data.len() {
+            let n = (data.len() - off).min(8);
+            // Only whole even chunks keep alignment; fall back to add_buf.
+            add_buf(&mut m, buf.base + off, n, &mut s);
+            off += n;
+            if n % 2 == 1 { break; }
+        }
+        if off >= data.len() {
+            prop_assert_eq!(s.finish(), one);
+        }
+    }
+
+    #[test]
+    fn xdr_scalars_roundtrip(values in proptest::collection::vec(any::<u32>(), 1..60)) {
+        let mut space = AddressSpace::new();
+        let wire = space.alloc("wire", 256, 8);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        let mut enc = XdrEncoder::new(&mut m, wire.base);
+        for &v in &values {
+            enc.put_u32(v);
+        }
+        let len = enc.written();
+        let mut dec = XdrDecoder::new(&mut m, wire.base, len);
+        for &v in &values {
+            prop_assert_eq!(dec.get_u32().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn segment_plans_always_tile(header in 0usize..=8, marshalled in 1usize..4096, block_pow in 2u32..=3) {
+        let block = 1usize << block_pow; // 4 or 8
+        prop_assume!(header <= block);
+        let plan = SegmentPlan::for_message(header, marshalled, block, Ordering::Unconstrained).unwrap();
+        prop_assert!(plan.is_tiling());
+        prop_assert_eq!(plan.padded_len % block, 0);
+        prop_assert!(plan.padded_len >= header + marshalled);
+        prop_assert!(plan.pad_bytes < block);
+        // Parts in processing order are B, C, A.
+        let kinds: Vec<_> = plan.processing_order().iter().map(|p| p.kind).collect();
+        prop_assert_eq!(kinds, vec![PartKind::B, PartKind::C, PartKind::A]);
+    }
+}
