@@ -1,0 +1,121 @@
+//! Server scale — aggregate throughput and cache behaviour of the
+//! multi-connection server, 1 → 1024 concurrent connections, ILP vs
+//! non-ILP, on a simulated SS10-30.
+//!
+//! The paper's single-pair experiments keep one connection's working
+//! set (ring, TCB, staging buffers) warm in the cache. A server
+//! interleaves N working sets, so each connection's state is partially
+//! evicted between its packets. This experiment asks whether ILP's
+//! fewer-passes advantage survives that cross-connection cache
+//! pollution — and how aggregate throughput and fairness behave as the
+//! connection count grows three orders of magnitude.
+//!
+//! Total offered load is held near [`TOTAL_PAYLOAD`] by shrinking the
+//! per-connection file as N grows, so rows are comparable and the sweep
+//! stays tractable under cache simulation.
+
+use bench::report::{banner, Table};
+use memsim::{HostModel, SimMem};
+use memsim::layout::AddressSpace;
+use server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
+
+/// Approximate payload carried per run, split across connections.
+const TOTAL_PAYLOAD: usize = 256 * 1024;
+const CHUNK: usize = 1024;
+
+struct Point {
+    payload: u64,
+    rounds: u64,
+    mbps: f64,
+    fairness: f64,
+    l1d_miss: f64,
+    mem_accesses: u64,
+}
+
+fn run_point(n: usize, path: Path, host: &HostModel) -> Point {
+    let file_len = (TOTAL_PAYLOAD / n).clamp(CHUNK, 64 * 1024);
+    let cfg = ServerConfig {
+        n_conns: n,
+        file_len,
+        chunk: CHUNK,
+        ..Default::default()
+    };
+    let mut space = AddressSpace::new();
+    let mut h = ScaleHarness::simplified(&mut space, cfg);
+    let mut m = SimMem::new(&space, host);
+    h.init_world(&mut m);
+    let _ = m.take_phase_stats(); // drop setup traffic
+
+    let mut sched = RoundRobin::new();
+    let report = h.run(&mut m, &mut sched, path);
+    let (user, system) = m.take_phase_stats();
+    assert_eq!(
+        h.verify_outputs(&mut m),
+        None,
+        "cross-connection corruption at n={n} ({path:?})"
+    );
+
+    // Price the run like `bench::measure` prices the single pair: the
+    // simulated memory cost of both phases plus the fixed per-packet
+    // charges (user overhead on each side, two syscalls, the loop-back
+    // driver) once per delivered chunk.
+    let chunks: u64 = report.per_conn.iter().map(|p| p.chunks).sum();
+    let per_chunk_us = 2.0 * host.per_packet_user_us + 2.0 * host.syscall_us + host.driver_us;
+    let total_us = host.cost(&user).total_us
+        + host.cost(&system).total_us
+        + chunks as f64 * per_chunk_us;
+
+    Point {
+        payload: report.payload_bytes,
+        rounds: report.rounds,
+        mbps: report.payload_bytes as f64 * 8.0 / total_us,
+        fairness: report.fairness,
+        l1d_miss: 100.0 * user.l1d_miss_ratio(),
+        mem_accesses: user.memory_accesses,
+    }
+}
+
+fn main() {
+    banner("Server scale", "aggregate throughput, 1-1024 connections");
+    let host = HostModel::ss10_30();
+    let counts = [1usize, 4, 16, 64, 256, 1024];
+
+    let mut tput = Table::new(vec![
+        "conns", "kB total", "nonILP Mbps", "ILP Mbps", "gain %", "nonILP fair", "ILP fair",
+        "rounds",
+    ]);
+    let mut cache = Table::new(vec![
+        "conns", "nonILP L1d miss%", "ILP L1d miss%", "nonILP mem acc", "ILP mem acc",
+    ]);
+    for &n in &counts {
+        let non = run_point(n, Path::NonIlp, &host);
+        let ilp = run_point(n, Path::Ilp, &host);
+        let gain = 100.0 * (ilp.mbps - non.mbps) / non.mbps;
+        tput.row(vec![
+            n.to_string(),
+            format!("{}", ilp.payload / 1024),
+            format!("{:.1}", non.mbps),
+            format!("{:.1}", ilp.mbps),
+            format!("{gain:+.0}"),
+            format!("{:.3}", non.fairness),
+            format!("{:.3}", ilp.fairness),
+            ilp.rounds.to_string(),
+        ]);
+        cache.row(vec![
+            n.to_string(),
+            format!("{:.1}", non.l1d_miss),
+            format!("{:.1}", ilp.l1d_miss),
+            non.mem_accesses.to_string(),
+            ilp.mem_accesses.to_string(),
+        ]);
+    }
+    tput.print();
+    println!("\nUser-phase cache behaviour (SS10-30, 16 kB direct-mapped L1):");
+    cache.print();
+    println!(
+        "\n(total offered load held near {} kB by shrinking per-connection\n\
+         files as N grows; fairness is Jain's index over per-connection\n\
+         bytes at the first completion, round-robin scheduling)",
+        TOTAL_PAYLOAD / 1024
+    );
+}

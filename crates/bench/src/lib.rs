@@ -37,5 +37,7 @@
 pub mod measure;
 pub mod paper;
 pub mod report;
+pub mod rng;
 
 pub use measure::{measure, MeasureCfg, Measurement, PathKind};
+pub use rng::XorShift64;

@@ -1,0 +1,47 @@
+//! The virtual clock.
+//!
+//! The paper's loop-back experiments drive one connection's timers from
+//! its own send/receive loop. A server multiplexing many connections
+//! needs a single time base: every scheduling round advances the clock
+//! one tick, and the harness fans that tick out to each connection's
+//! retransmission timer ([`utcp::Connection::tick`]). Connection RTOs
+//! are therefore measured in *scheduling rounds*, which is exactly the
+//! granularity at which a single-threaded event loop can observe time.
+
+/// Monotonic tick counter shared by all connections of one server.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advance one tick and return the new time.
+    pub fn advance(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.now(), 2);
+    }
+}

@@ -1,0 +1,631 @@
+//! [`ScaleHarness`]: build a server plus N clients in one address space
+//! and drive every transfer to completion.
+//!
+//! One scheduling round = one virtual tick:
+//!
+//! 1. unestablished clients (re-)send SYNs; the server accepts and
+//!    answers; clients complete their handshakes;
+//! 2. the scheduler picks ready connections and the server runs one
+//!    pipeline instance (ILP or non-ILP) per pick, until flow control
+//!    or the per-round burst bound stops it;
+//! 3. every client drains its data endpoint through its receive
+//!    pipeline;
+//! 4. the server drains ACKs and advances each connection's
+//!    retransmission timer by one tick.
+//!
+//! The loop is single-threaded on purpose: the paper's machines served
+//! all connections from one CPU, and the cache effects the experiment
+//! measures come precisely from that interleaving.
+
+use cipher::{CipherKernel, SimplifiedSafer, VerySimple};
+use memsim::layout::AddressSpace;
+use memsim::region::{Region, RegionKind};
+use memsim::Mem;
+pub use rpcapp::app::Path;
+use utcp::{Connection, EndpointId, FaultPlan, Loopback, SendError, UtcpConfig};
+
+use crate::clock::VirtualClock;
+use crate::conn_table::{ConnId, ConnTable, Session, SessionState};
+use crate::handshake::{self, LISTEN_PORT};
+use crate::pipeline::{
+    recv_chunk_ilp, recv_chunk_non_ilp, send_chunk_ilp, send_chunk_non_ilp, Scratch,
+};
+use crate::sched::Scheduler;
+use crate::stats::{jain_fairness, PerConnStats};
+
+/// The server's IP address.
+pub const SERVER_IP: u32 = 0x0A00_0001;
+
+/// Rounds between SYN retries while unestablished.
+const SYN_RETRY_TICKS: u64 = 8;
+
+/// Rounds without any delivered byte before the run is declared stuck.
+const STALL_LIMIT: u64 = 30_000;
+
+fn client_ip(i: usize) -> u32 {
+    0x0A00_0100 + i as u32
+}
+
+fn server_data_port(i: usize) -> u16 {
+    20_000 + i as u16
+}
+
+fn client_data_port(i: usize) -> u16 {
+    30_000 + i as u16
+}
+
+fn ctrl_port(i: usize) -> u16 {
+    40_000 + i as u16
+}
+
+fn client_iss(i: usize) -> u32 {
+    0x0100_0000 + (i as u32) * 0x1_0000
+}
+
+fn server_iss(i: usize) -> u32 {
+    0x8000_0000 + (i as u32) * 0x1_0000
+}
+
+/// Deterministic per-connection file pattern: byte `j` of connection
+/// `conn`'s file. Distinct per connection, so any cross-connection
+/// delivery shows up as a byte mismatch.
+pub fn file_pattern(conn: usize, j: usize) -> u8 {
+    (((j * 31 + 7) % 256) as u8) ^ (((conn * 97 + 13) % 256) as u8)
+}
+
+/// Workload shape for one harness.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of concurrent connections.
+    pub n_conns: usize,
+    /// File length per connection, bytes.
+    pub file_len: usize,
+    /// Maximum payload bytes per reply chunk.
+    pub chunk: usize,
+    /// Scheduler weights per connection (empty = all 1). Carried to the
+    /// server in each client's SYN.
+    pub weights: Vec<u32>,
+    /// Fault plan installed on the shared kernel part.
+    pub faults: FaultPlan,
+    /// Hard bound on scheduling rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            n_conns: 4,
+            file_len: 4096,
+            chunk: 1024,
+            weights: Vec::new(),
+            faults: FaultPlan::default(),
+            max_rounds: 200_000,
+        }
+    }
+}
+
+/// One client's receive side.
+#[derive(Debug)]
+struct ClientSide {
+    rx: Connection,
+    ctrl_ep: EndpointId,
+    ctrl_port: u16,
+    data_port: u16,
+    ip: u32,
+    iss: u32,
+    weight: u32,
+    established: bool,
+    app_out: Region,
+    bytes: u64,
+    chunks: u64,
+    rejected: u64,
+    last_syn: Option<u64>,
+}
+
+/// What a finished run did, across all connections.
+#[derive(Debug, Clone)]
+pub struct AggregateReport {
+    /// Per-connection accounting, in connection order.
+    pub per_conn: Vec<PerConnStats>,
+    /// Total application payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Scheduling rounds the run took.
+    pub rounds: u64,
+    /// Total retransmissions across connections.
+    pub retransmits: u64,
+    /// Total rejected segments across clients.
+    pub rejected: u64,
+    /// Datagrams bit-flipped by fault injection.
+    pub corrupted: u64,
+    /// Jain's fairness index over weight-normalised per-connection bytes
+    /// at the moment the first connection finished (1.0 when n = 1).
+    pub fairness: f64,
+    /// Name of the scheduler that ran.
+    pub scheduler: &'static str,
+}
+
+/// Server + N clients + shared kernel part, in one address space.
+#[derive(Debug)]
+pub struct ScaleHarness<C> {
+    cipher: C,
+    /// The shared kernel part (exposed for fault injection in tests).
+    pub lb: Loopback,
+    /// The server's connection table.
+    pub table: ConnTable,
+    clients: Vec<ClientSide>,
+    listen_ep: EndpointId,
+    /// Shared buffers and code footprints.
+    pub scratch: Scratch,
+    clock: VirtualClock,
+    cfg: ServerConfig,
+    hs_scratch: Region,
+    /// Per-connection delivered bytes at the first completion.
+    snapshot: Option<Vec<u64>>,
+}
+
+impl ScaleHarness<SimplifiedSafer> {
+    /// Build with the paper's simplified SAFER K-64.
+    pub fn simplified(space: &mut AddressSpace, cfg: ServerConfig) -> Self {
+        let cipher = SimplifiedSafer::alloc(space);
+        Self::with_cipher(space, cipher, cfg)
+    }
+}
+
+impl ScaleHarness<VerySimple> {
+    /// Build with the very simple cipher.
+    pub fn very_simple(space: &mut AddressSpace, cfg: ServerConfig) -> Self {
+        let cipher = VerySimple::alloc(space);
+        Self::with_cipher(space, cipher, cfg)
+    }
+}
+
+impl<C: CipherKernel + Copy> ScaleHarness<C> {
+    /// Assemble the world around an already-allocated cipher.
+    pub fn with_cipher(space: &mut AddressSpace, cipher: C, cfg: ServerConfig) -> Self {
+        assert!(cfg.n_conns >= 1, "a server needs at least one connection");
+        assert!(cfg.n_conns <= 10_000, "port scheme supports at most 10000 connections");
+        assert!(cfg.chunk > 0 && cfg.chunk + 64 <= 1536, "chunk must fit one TPDU");
+        // Slot pool: a few datagrams per connection stay queued between
+        // rounds (data in flight + ACKs); overruns are recovered by
+        // checksum + retransmission, but size generously.
+        let mut lb = Loopback::with_capacity(space, 16 * cfg.n_conns + 64);
+        lb.set_faults(cfg.faults);
+        let listen_ep = lb.register(LISTEN_PORT);
+        let hs_scratch = space.alloc("hs_scratch", 64, 8);
+        let scratch = Scratch::alloc(space);
+        let mut table = ConnTable::new();
+        let mut clients = Vec::with_capacity(cfg.n_conns);
+        for i in 0..cfg.n_conns {
+            let weight = cfg.weights.get(i).copied().unwrap_or(1).max(1);
+            let tx_cfg = UtcpConfig {
+                local_port: server_data_port(i),
+                peer_port: client_data_port(i),
+                local_ip: SERVER_IP,
+                peer_ip: client_ip(i),
+                ring_capacity: 8 * 1024,
+                ..Default::default()
+            };
+            let tx = Connection::new(space, &mut lb, tx_cfg, server_iss(i));
+            let file = space.alloc_kind("srv_file", cfg.file_len.max(64), 64, RegionKind::AppData);
+            table.insert(Session {
+                tx,
+                state: SessionState::Allocated,
+                file,
+                file_len: cfg.file_len,
+                chunk: cfg.chunk,
+                next_chunk: 0,
+                weight,
+                client_data_port: client_data_port(i),
+                client_ctrl_port: ctrl_port(i),
+                stats: PerConnStats::default(),
+            });
+            let rx_cfg = UtcpConfig {
+                local_port: client_data_port(i),
+                peer_port: server_data_port(i),
+                local_ip: client_ip(i),
+                peer_ip: SERVER_IP,
+                ring_capacity: 256, // receive-only: the ring is unused
+                ..Default::default()
+            };
+            let rx = Connection::new(space, &mut lb, rx_cfg, client_iss(i));
+            let ctrl_ep = lb.register(ctrl_port(i));
+            let app_out =
+                space.alloc_kind("cli_out", cfg.file_len.max(64), 64, RegionKind::AppData);
+            clients.push(ClientSide {
+                rx,
+                ctrl_ep,
+                ctrl_port: ctrl_port(i),
+                data_port: client_data_port(i),
+                ip: client_ip(i),
+                iss: client_iss(i),
+                weight,
+                established: false,
+                app_out,
+                bytes: 0,
+                chunks: 0,
+                rejected: 0,
+                last_syn: None,
+            });
+        }
+        ScaleHarness {
+            cipher,
+            lb,
+            table,
+            clients,
+            listen_ep,
+            scratch,
+            clock: VirtualClock::new(),
+            cfg,
+            hs_scratch,
+            snapshot: None,
+        }
+    }
+
+    /// Fill every connection's server file with its pattern (call once
+    /// per memory world, together with cipher init — see [`WorldInit`]).
+    pub fn fill_files<M: Mem>(&self, m: &mut M) {
+        for (i, sess) in self.table.iter().enumerate() {
+            for j in 0..sess.file_len {
+                m.write_u8(sess.file.at(j), file_pattern(i, j));
+            }
+        }
+    }
+
+    /// The configuration this harness was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Run the server loop to completion of every transfer.
+    ///
+    /// # Panics
+    /// Panics if no byte is delivered for [`STALL_LIMIT`] rounds or the
+    /// configured `max_rounds` is exceeded — both indicate a protocol or
+    /// scheduling bug, not a recoverable condition.
+    pub fn run<M: Mem>(
+        &mut self,
+        m: &mut M,
+        sched: &mut dyn Scheduler,
+        path: Path,
+    ) -> AggregateReport {
+        let n = self.table.len();
+        let mut last_progress = 0u64;
+        let mut bytes_seen = 0u64;
+        loop {
+            let now = self.clock.advance();
+            self.drive_handshakes(m, now);
+            self.drive_sends(m, sched, path, n);
+            self.drive_receives(m, path, n);
+            self.settle_round(m, now, n);
+
+            if self.table.iter().all(|s| s.state == SessionState::Done) {
+                break;
+            }
+            let total: u64 = self.clients.iter().map(|c| c.bytes).sum();
+            if total > bytes_seen {
+                bytes_seen = total;
+                last_progress = now;
+            }
+            assert!(
+                now - last_progress < STALL_LIMIT,
+                "no progress for {STALL_LIMIT} rounds ({bytes_seen} bytes delivered)"
+            );
+            assert!(now < self.cfg.max_rounds, "exceeded max_rounds {}", self.cfg.max_rounds);
+        }
+        self.report(sched.name())
+    }
+
+    /// Step 1: SYN retries, accepts, SYN-ACK completion.
+    fn drive_handshakes<M: Mem>(&mut self, m: &mut M, now: u64) {
+        let n = self.clients.len();
+        for i in 0..n {
+            if self.clients[i].established {
+                continue;
+            }
+            let due = match self.clients[i].last_syn {
+                None => true,
+                Some(t) => now - t >= SYN_RETRY_TICKS,
+            };
+            if !due {
+                continue;
+            }
+            let c = &self.clients[i];
+            handshake::client_send_syn(
+                m,
+                &mut self.lb,
+                self.hs_scratch,
+                c.ip,
+                SERVER_IP,
+                c.ctrl_port,
+                c.iss,
+                c.data_port,
+                c.weight,
+            );
+            self.clients[i].last_syn = Some(now);
+        }
+        // Server: accept everything pending on the listen endpoint. The
+        // accept is idempotent — a retried SYN for an established
+        // session just provokes a fresh SYN-ACK.
+        while let Some(d) = self.lb.recv(self.listen_ep) {
+            let Some(info) = handshake::parse_syn(m, &d, SERVER_IP) else { continue };
+            let Some(id) = self.table.lookup_port(info.data_port) else { continue };
+            let sess = self.table.get_mut(id);
+            if sess.state == SessionState::Allocated {
+                sess.state = SessionState::Established;
+                sess.weight = info.weight.max(1);
+                sess.stats.established_at = now;
+            }
+            handshake::server_send_syn_ack(
+                m,
+                &mut self.lb,
+                self.hs_scratch,
+                SERVER_IP,
+                info.src_ip,
+                info.ctrl_port,
+                server_iss(id.index()),
+                info.iss,
+            );
+        }
+        for i in 0..n {
+            if self.clients[i].established {
+                continue;
+            }
+            let expected_ack = self.clients[i].iss.wrapping_add(1);
+            let ep = self.clients[i].ctrl_ep;
+            let ip = self.clients[i].ip;
+            if let Some(siss) = handshake::client_poll_syn_ack(m, &mut self.lb, ep, ip, expected_ack)
+            {
+                self.clients[i].rx.set_peer_iss(siss);
+                self.clients[i].established = true;
+            }
+        }
+    }
+
+    /// Step 2: scheduler-driven sends until nobody is ready (or the
+    /// per-round burst bound trips).
+    fn drive_sends<M: Mem>(&mut self, m: &mut M, sched: &mut dyn Scheduler, path: Path, n: usize) {
+        let mut burst = 0usize;
+        loop {
+            let ready: Vec<ConnId> = self
+                .table
+                .ids()
+                .filter(|&id| {
+                    let s = self.table.get(id);
+                    s.has_work()
+                        && s.next_meta()
+                            .is_some_and(|(meta, _)| s.tx.can_send(meta.padded_len(C::UNIT)))
+                })
+                .collect();
+            let Some(id) = sched.pick(&ready) else { break };
+            let sess = self.table.get_mut(id);
+            let (meta, addr) = sess.next_meta().expect("ready implies work");
+            let outcome = match path {
+                Path::Ilp => {
+                    send_chunk_ilp(&self.scratch, self.cipher, m, &mut sess.tx, &mut self.lb, &meta, addr)
+                }
+                Path::NonIlp => {
+                    send_chunk_non_ilp(&self.scratch, &self.cipher, m, &mut sess.tx, &mut self.lb, &meta, addr)
+                }
+            };
+            match outcome {
+                Ok(padded) => {
+                    sess.next_chunk += 1;
+                    sched.charge(id, padded);
+                }
+                // can_send is conservative about ring wrap; treat a raced
+                // refusal as "not ready this round".
+                Err(SendError::BufferFull | SendError::WindowClosed) => break,
+                Err(e) => panic!("send failed: {e}"),
+            }
+            burst += 1;
+            if burst >= 4 * n {
+                break;
+            }
+        }
+    }
+
+    /// Step 3: every client drains its data endpoint.
+    fn drive_receives<M: Mem>(&mut self, m: &mut M, path: Path, n: usize) {
+        for i in 0..n {
+            if !self.clients[i].established {
+                continue;
+            }
+            loop {
+                let c = &mut self.clients[i];
+                let outcome = match path {
+                    Path::Ilp => {
+                        recv_chunk_ilp(&self.scratch, self.cipher, m, &mut c.rx, &mut self.lb, c.app_out)
+                    }
+                    Path::NonIlp => {
+                        recv_chunk_non_ilp(&self.scratch, &self.cipher, m, &mut c.rx, &mut self.lb, c.app_out)
+                    }
+                };
+                match outcome {
+                    None => break,
+                    Some(Ok(meta)) => {
+                        c.bytes += u64::from(meta.data_len);
+                        c.chunks += 1;
+                    }
+                    Some(Err(_)) => c.rejected += 1,
+                }
+            }
+        }
+    }
+
+    /// Step 4: completion bookkeeping, ACK drain, timers, snapshot.
+    fn settle_round<M: Mem>(&mut self, m: &mut M, now: u64, n: usize) {
+        for i in 0..n {
+            let id = ConnId(i as u32);
+            let chunks_total = self.table.get(id).chunks_total() as u64;
+            let client_done = self.clients[i].chunks >= chunks_total;
+            let sess = self.table.get_mut(id);
+            if client_done && sess.stats.completed_at == 0 {
+                sess.stats.completed_at = now;
+            }
+        }
+        for sess in self.table.iter_mut() {
+            while sess.tx.poll_input(m, &mut self.lb).is_some() {}
+            sess.tx.tick(m, &mut self.lb);
+            if sess.stats.completed_at != 0
+                && sess.tx.in_flight() == 0
+                && sess.state == SessionState::Established
+            {
+                sess.state = SessionState::Done;
+            }
+        }
+        if self.snapshot.is_none() && self.table.iter().any(|s| s.stats.completed_at != 0) {
+            self.snapshot = Some(self.clients.iter().map(|c| c.bytes).collect());
+        }
+    }
+
+    /// Assemble the report after the loop exits.
+    fn report(&self, scheduler: &'static str) -> AggregateReport {
+        let per_conn: Vec<PerConnStats> = self
+            .table
+            .iter()
+            .zip(&self.clients)
+            .map(|(sess, c)| PerConnStats {
+                payload_bytes: c.bytes,
+                chunks: c.chunks,
+                rejected: c.rejected,
+                retransmits: sess.tx.stats.retransmits,
+                established_at: sess.stats.established_at,
+                completed_at: sess.stats.completed_at,
+            })
+            .collect();
+        let shares: Vec<f64> = match &self.snapshot {
+            Some(snap) => snap
+                .iter()
+                .zip(&self.clients)
+                .map(|(&b, c)| b as f64 / f64::from(c.weight))
+                .collect(),
+            None => Vec::new(),
+        };
+        AggregateReport {
+            payload_bytes: per_conn.iter().map(|p| p.payload_bytes).sum(),
+            rounds: self.clock.now(),
+            retransmits: per_conn.iter().map(|p| p.retransmits).sum(),
+            rejected: per_conn.iter().map(|p| p.rejected).sum(),
+            corrupted: self.lb.corrupted,
+            fairness: jain_fairness(&shares),
+            scheduler,
+            per_conn,
+        }
+    }
+
+    /// Verify every client reassembled exactly its own file — the
+    /// zero-cross-talk check. Returns the index of the first corrupted
+    /// connection, or `None` if all are intact.
+    pub fn verify_outputs<M: Mem>(&self, m: &mut M) -> Option<usize> {
+        for (i, c) in self.clients.iter().enumerate() {
+            for j in 0..self.cfg.file_len {
+                if m.read_u8(c.app_out.at(j)) != file_pattern(i, j) {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Per-world initialisation: cipher key material + file patterns.
+/// Mirrors [`rpcapp::suite::SuiteInit`] — each memory world (native
+/// arena, each simulated host) needs its own pass before the run.
+pub trait WorldInit<M: Mem> {
+    /// Write tables, keys, and file contents into `m`.
+    fn init_world(&self, m: &mut M);
+}
+
+impl<M: Mem> WorldInit<M> for ScaleHarness<SimplifiedSafer> {
+    fn init_world(&self, m: &mut M) {
+        self.cipher.init(m, *b"ILP95key");
+        self.fill_files(m);
+    }
+}
+
+impl<M: Mem> WorldInit<M> for ScaleHarness<VerySimple> {
+    fn init_world(&self, m: &mut M) {
+        self.fill_files(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{DeficitRoundRobin, RoundRobin};
+    use memsim::NativeMem;
+
+    fn run(cfg: ServerConfig, path: Path) -> (AggregateReport, Option<usize>) {
+        let mut space = AddressSpace::new();
+        let mut h = ScaleHarness::simplified(&mut space, cfg);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        h.init_world(&mut m);
+        let mut sched = RoundRobin::new();
+        let report = h.run(&mut m, &mut sched, path);
+        let corrupted = h.verify_outputs(&mut m);
+        (report, corrupted)
+    }
+
+    #[test]
+    fn four_connections_complete_on_both_paths() {
+        for path in [Path::Ilp, Path::NonIlp] {
+            let (report, corrupted) = run(ServerConfig::default(), path);
+            assert_eq!(report.payload_bytes, 4 * 4096, "{path:?}");
+            assert_eq!(corrupted, None, "{path:?}");
+            assert_eq!(report.rejected, 0, "clean loop-back rejects nothing ({path:?})");
+            assert!(report.fairness > 0.99, "fairness {} ({path:?})", report.fairness);
+            for p in &report.per_conn {
+                assert!(p.completed_at > 0);
+                assert!(p.established_at > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_connection_degenerates_to_the_paper_setup() {
+        let cfg = ServerConfig { n_conns: 1, file_len: 15 * 1024, ..Default::default() };
+        let (report, corrupted) = run(cfg, Path::Ilp);
+        assert_eq!(report.payload_bytes, 15 * 1024);
+        assert_eq!(corrupted, None);
+        assert!((report.fairness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_scheduler_skews_early_shares() {
+        let cfg = ServerConfig {
+            n_conns: 3,
+            file_len: 12 * 1024,
+            chunk: 512,
+            weights: vec![2, 1, 1],
+            ..Default::default()
+        };
+        let mut space = AddressSpace::new();
+        let mut h = ScaleHarness::simplified(&mut space, cfg.clone());
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        h.init_world(&mut m);
+        let mut sched = DeficitRoundRobin::new(cfg.weights.clone(), cfg.chunk as u32);
+        let report = h.run(&mut m, &mut sched, Path::Ilp);
+        assert_eq!(h.verify_outputs(&mut m), None);
+        // Everyone eventually gets the whole file; weight-normalised
+        // shares at first completion should still be near-fair.
+        assert_eq!(report.payload_bytes, 3 * 12 * 1024);
+        assert!(report.fairness > 0.9, "weighted fairness {}", report.fairness);
+    }
+
+    #[test]
+    fn survives_fault_injection() {
+        let cfg = ServerConfig {
+            n_conns: 3,
+            file_len: 6 * 1024,
+            faults: FaultPlan { drop_every: 11, corrupt_every: 13, ..Default::default() },
+            ..Default::default()
+        };
+        let (report, corrupted) = run(cfg, Path::Ilp);
+        assert_eq!(report.payload_bytes, 3 * 6 * 1024);
+        assert_eq!(corrupted, None, "faults must never corrupt delivered data");
+        assert!(report.retransmits > 0, "drops must force retransmission");
+        assert!(report.corrupted > 0, "corruption plan must have fired");
+    }
+}

@@ -1,0 +1,196 @@
+//! Send scheduling across connections.
+//!
+//! Each scheduling round the harness computes the set of *ready*
+//! connections — established, chunks remaining, transport willing to
+//! accept a segment — and asks the scheduler which one gets the next
+//! pipeline run. Two policies:
+//!
+//! * [`RoundRobin`] — equal turns, the classic server event loop.
+//! * [`DeficitRoundRobin`] — Shreedhar & Varghese's deficit round-robin
+//!   adapted to chunk granularity: each connection accrues credit in
+//!   proportion to its weight and pays for chunks in bytes, so a
+//!   weight-2 connection sustains twice the bytes of a weight-1
+//!   neighbour even when chunk sizes differ.
+
+use crate::conn_table::ConnId;
+
+/// Chooses which ready connection sends next.
+pub trait Scheduler {
+    /// Policy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Pick one of `ready` (never an id outside it); `None` iff `ready`
+    /// is empty.
+    fn pick(&mut self, ready: &[ConnId]) -> Option<ConnId>;
+
+    /// Account `bytes` of link usage to `conn` after a send.
+    fn charge(&mut self, conn: ConnId, bytes: usize);
+}
+
+/// Equal-turn round-robin over the ready set.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: u32,
+}
+
+impl RoundRobin {
+    /// A scheduler starting at the first connection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ready id closest after the cursor, cyclically.
+    fn next_from(cursor: u32, ready: &[ConnId]) -> Option<ConnId> {
+        ready.iter().copied().min_by_key(|c| c.0.wrapping_sub(cursor))
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, ready: &[ConnId]) -> Option<ConnId> {
+        let picked = Self::next_from(self.cursor, ready)?;
+        self.cursor = picked.0.wrapping_add(1);
+        Some(picked)
+    }
+
+    fn charge(&mut self, _conn: ConnId, _bytes: usize) {}
+}
+
+/// Deficit-style weighted round-robin.
+#[derive(Debug)]
+pub struct DeficitRoundRobin {
+    /// Bytes of credit granted per weight unit per top-up.
+    quantum: u32,
+    weights: Vec<u32>,
+    deficits: Vec<i64>,
+    cursor: u32,
+}
+
+impl DeficitRoundRobin {
+    /// Build for `weights.len()` connections; weight 0 is treated as 1.
+    /// `quantum` is the per-weight-unit byte credit granted when every
+    /// ready connection has run out — roughly one chunk is a reasonable
+    /// choice.
+    pub fn new(weights: Vec<u32>, quantum: u32) -> Self {
+        assert!(quantum > 0, "quantum must grant positive credit");
+        let weights: Vec<u32> = weights.into_iter().map(|w| w.max(1)).collect();
+        let deficits = vec![0i64; weights.len()];
+        DeficitRoundRobin { quantum, weights, deficits, cursor: 0 }
+    }
+
+    /// Current credit of a connection (tests/diagnostics).
+    pub fn deficit(&self, conn: ConnId) -> i64 {
+        self.deficits[conn.index()]
+    }
+}
+
+impl Scheduler for DeficitRoundRobin {
+    fn name(&self) -> &'static str {
+        "deficit-weighted"
+    }
+
+    fn pick(&mut self, ready: &[ConnId]) -> Option<ConnId> {
+        if ready.is_empty() {
+            return None;
+        }
+        // Visit ready connections in cyclic order from the cursor; the
+        // first with credit left sends. If nobody has credit, top up
+        // everyone ready (weight-proportionally) and rescan. A charge
+        // may exceed one grant (a chunk larger than the quantum), so
+        // several top-ups can be needed before credit turns positive;
+        // each adds ≥ quantum to every ready connection, so the loop
+        // terminates.
+        let mut order: Vec<ConnId> = ready.to_vec();
+        order.sort_by_key(|c| c.0.wrapping_sub(self.cursor));
+        loop {
+            for &c in &order {
+                if self.deficits[c.index()] > 0 {
+                    self.cursor = c.0.wrapping_add(1);
+                    return Some(c);
+                }
+            }
+            for c in ready {
+                self.deficits[c.index()] +=
+                    i64::from(self.quantum) * i64::from(self.weights[c.index()]);
+            }
+        }
+    }
+
+    fn charge(&mut self, conn: ConnId, bytes: usize) {
+        self.deficits[conn.index()] -= bytes as i64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ConnId> {
+        v.iter().map(|&i| ConnId(i)).collect()
+    }
+
+    /// Run `rounds` picks with a constant per-pick cost, everyone always
+    /// ready; return per-connection pick counts.
+    fn histogram(sched: &mut dyn Scheduler, n: u32, rounds: usize, cost: usize) -> Vec<usize> {
+        let ready = ids(&(0..n).collect::<Vec<_>>());
+        let mut counts = vec![0usize; n as usize];
+        for _ in 0..rounds {
+            let c = sched.pick(&ready).unwrap();
+            counts[c.index()] += 1;
+            sched.charge(c, cost);
+        }
+        counts
+    }
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut rr = RoundRobin::new();
+        let counts = histogram(&mut rr, 4, 400, 1000);
+        assert_eq!(counts, vec![100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn round_robin_skips_unready() {
+        let mut rr = RoundRobin::new();
+        // Only 1 and 3 ready: strict alternation.
+        let ready = ids(&[1, 3]);
+        let seq: Vec<u32> = (0..6).map(|_| rr.pick(&ready).unwrap().0).collect();
+        assert_eq!(seq, vec![1, 3, 1, 3, 1, 3]);
+        assert_eq!(rr.pick(&[]), None);
+    }
+
+    #[test]
+    fn drr_honours_weights() {
+        let mut drr = DeficitRoundRobin::new(vec![2, 1, 1], 1024);
+        let counts = histogram(&mut drr, 3, 400, 1024);
+        // Weight 2 connection gets ~twice the service of each weight-1.
+        assert_eq!(counts.iter().sum::<usize>(), 400);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}, counts {counts:?}");
+        assert!((counts[1] as i64 - counts[2] as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn drr_equal_weights_degenerate_to_fair_shares() {
+        let mut drr = DeficitRoundRobin::new(vec![1; 5], 512);
+        let counts = histogram(&mut drr, 5, 500, 512);
+        for c in &counts {
+            assert_eq!(*c, 100);
+        }
+    }
+
+    #[test]
+    fn drr_credit_is_spent_and_replenished() {
+        let mut drr = DeficitRoundRobin::new(vec![1, 1], 100);
+        let ready = ids(&[0, 1]);
+        let first = drr.pick(&ready).unwrap();
+        drr.charge(first, 100);
+        assert_eq!(drr.deficit(first), 0, "credit spent");
+        // The other connection still has its grant.
+        let second = drr.pick(&ready).unwrap();
+        assert_ne!(first, second);
+    }
+}

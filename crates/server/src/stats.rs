@@ -1,0 +1,80 @@
+//! Per-connection accounting and the fairness metric.
+
+/// What one connection did over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerConnStats {
+    /// Application payload bytes delivered to this connection's client.
+    pub payload_bytes: u64,
+    /// Reply chunks delivered.
+    pub chunks: u64,
+    /// Segments the client rejected (checksum, out-of-order, format).
+    pub rejected: u64,
+    /// Retransmissions on the server side of this connection.
+    pub retransmits: u64,
+    /// Virtual tick at which the handshake completed.
+    pub established_at: u64,
+    /// Virtual tick at which the last chunk was delivered (0 = never).
+    pub completed_at: u64,
+}
+
+impl PerConnStats {
+    /// Transfer duration in virtual ticks (at least 1 once complete).
+    pub fn duration_ticks(&self) -> u64 {
+        if self.completed_at == 0 {
+            0
+        } else {
+            (self.completed_at - self.established_at).max(1)
+        }
+    }
+}
+
+/// Jain's fairness index over per-connection shares: `(Σx)² / (n·Σx²)`.
+///
+/// 1.0 means every connection got an identical share; `1/n` means one
+/// connection got everything. Shares of a weighted run should be
+/// normalised by weight before calling, so that a perfectly weighted
+/// schedule also scores 1.0.
+pub fn jain_fairness(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_score_one() {
+        let idx = jain_fairness(&[5.0, 5.0, 5.0, 5.0]);
+        assert!((idx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_scores_one_over_n() {
+        let idx = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn duration_requires_completion() {
+        let mut s = PerConnStats { established_at: 5, ..Default::default() };
+        assert_eq!(s.duration_ticks(), 0);
+        s.completed_at = 9;
+        assert_eq!(s.duration_ticks(), 4);
+        s.completed_at = 5;
+        assert_eq!(s.duration_ticks(), 1, "same-tick completion counts as one tick");
+    }
+}

@@ -255,6 +255,22 @@ impl Connection {
         self.rcv_nxt = iss;
     }
 
+    /// The kernel-part endpoint this connection receives on. The server
+    /// subsystem uses this to key its connection table.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// The local (receiving) port.
+    pub fn local_port(&self) -> u16 {
+        self.cfg.local_port
+    }
+
+    /// The configured peer port.
+    pub fn peer_port(&self) -> u16 {
+        self.cfg.peer_port
+    }
+
     /// Next sequence number to be sent.
     pub fn snd_nxt(&self) -> u32 {
         self.snd_nxt
@@ -774,6 +790,58 @@ mod tests {
         assert_eq!(w.rx.stats.accepted, 1);
         assert_eq!(w.rx.stats.rejected, 1);
         assert_eq!(w.rx.stats.acks_sent, 2, "duplicate triggers a repeat ACK");
+    }
+
+    #[test]
+    fn corrupted_tpdu_rejected_by_checksum_and_recovered_by_retransmission() {
+        // FaultPlan::corrupt_every flips a payload bit in the kernel
+        // slot. The Internet checksum must reject every corrupted TPDU,
+        // the reject must not advance rcv_nxt, and RTO-driven
+        // retransmission must still deliver the full stream intact.
+        let mut w = world();
+        w.lb.set_faults(FaultPlan { corrupt_every: 3, ..Default::default() });
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        let mut received = Vec::new();
+        let mut to_send: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i * 17 + 3; 90]).collect();
+        to_send.reverse();
+        let mut pending = to_send.pop();
+        for _ in 0..600 {
+            if let Some(data) = &pending {
+                m.bytes_mut(w.src.base, 90).copy_from_slice(data);
+                if w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 90).is_ok() {
+                    pending = to_send.pop();
+                }
+            }
+            while let Some(d) = w.rx.poll_input(&mut m, &mut w.lb) {
+                let clean = w.rx.verify_checksum(&mut m, &d);
+                let sum = checksum_buf(&mut m, d.payload_addr, d.payload_len);
+                let rcv_before = w.rx.rcv_nxt;
+                match w.rx.finish_recv(&mut m, &mut w.lb, &d, sum) {
+                    Ok(()) => {
+                        assert!(clean, "checksum must catch every corrupted TPDU");
+                        received.push(m.bytes(d.payload_addr, d.payload_len).to_vec());
+                    }
+                    Err(Reject::BadChecksum { .. }) => {
+                        assert!(!clean);
+                        assert_eq!(w.rx.rcv_nxt, rcv_before, "reject must not advance state");
+                    }
+                    Err(_) => {} // duplicate of an already-accepted segment
+                }
+            }
+            let _ = w.tx.poll_input(&mut m, &mut w.lb);
+            w.tx.tick(&mut m, &mut w.lb);
+            if received.len() == 6 && w.tx.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(received.len(), 6, "all messages delivered despite corruption");
+        for (i, data) in received.iter().enumerate() {
+            assert_eq!(data, &vec![i as u8 * 17 + 3; 90], "message {i} corrupted");
+        }
+        assert!(w.lb.corrupted > 0, "fault plan must have fired");
+        assert!(w.tx.stats.retransmits > 0, "recovery must go through retransmission");
+        assert!(w.rx.stats.rejected > 0, "checksum must have rejected something");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::ip::{Ipv4Header, IP_HEADER_LEN};
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Identifies a registered endpoint (index into the loop-back's tables).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,11 @@ pub struct FaultPlan {
     pub dup_every: usize,
     /// Swap every `n`-th datagram with its successor (0 = never).
     pub reorder_every: usize,
+    /// Flip one payload bit of every `n`-th *data-bearing* datagram
+    /// (0 = never). Pure ACKs are exempt: the paper's profile verifies
+    /// the TCP checksum only on data segments, so a corrupted ACK would
+    /// model a failure this stack never detects.
+    pub corrupt_every: usize,
 }
 
 /// Per-endpoint state inside the kernel part.
@@ -77,8 +82,15 @@ pub struct Loopback {
     sent: u64,
     /// Datagrams dropped by fault injection.
     pub dropped: u64,
+    /// Datagrams bit-flipped by fault injection.
+    pub corrupted: u64,
     /// Datagrams that arrived for a port nobody listens on.
     pub unroutable: u64,
+    /// Port → endpoint index. With two endpoints (the paper's loop-back
+    /// pair) a linear scan is fine; a server multiplexing hundreds of
+    /// connections demultiplexes thousands of datagrams per transfer,
+    /// so lookup is O(1).
+    by_port: HashMap<u16, usize>,
 }
 
 /// Default kernel slot size: room for header + the largest paper TPDU.
@@ -87,10 +99,24 @@ const DEFAULT_SLOT: usize = 2048;
 const DEFAULT_SLOTS: usize = 64;
 
 impl Loopback {
-    /// Allocate the kernel buffer area in `space`.
+    /// Allocate the kernel buffer area in `space` with the default pool
+    /// (64 slots — ample for the paper's single connection pair).
     pub fn new(space: &mut AddressSpace) -> Self {
+        Self::with_capacity(space, DEFAULT_SLOTS)
+    }
+
+    /// Allocate the kernel buffer area with `n_slots` buffer slots. A
+    /// server multiplexing N connections keeps up to a few datagrams per
+    /// connection queued between scheduling rounds; size the pool so
+    /// slot recycling (which blindly reuses the oldest slot) cannot
+    /// overwrite a datagram still waiting in a queue. Should the pool
+    /// still overrun, the overwritten datagram fails its TCP checksum at
+    /// the receiver and retransmission recovers — the same story as a
+    /// real NIC ring overrun.
+    pub fn with_capacity(space: &mut AddressSpace, n_slots: usize) -> Self {
+        assert!(n_slots > 0, "kernel slot pool cannot be empty");
         let slots =
-            space.alloc_kind("kernel_slots", DEFAULT_SLOT * DEFAULT_SLOTS, 64, RegionKind::Kernel);
+            space.alloc_kind("kernel_slots", DEFAULT_SLOT * n_slots, 64, RegionKind::Kernel);
         let code_os = space.alloc_code("os_ip_driver", 6 * 1024);
         // 16 KB region walked at every-other-line stride: the kernel +
         // scheduler + peer process working set is scattered across the
@@ -100,7 +126,7 @@ impl Loopback {
         Loopback {
             slots,
             slot_size: DEFAULT_SLOT,
-            n_slots: DEFAULT_SLOTS,
+            n_slots,
             next_slot: 0,
             endpoints: Vec::new(),
             fault: FaultPlan::default(),
@@ -109,18 +135,24 @@ impl Loopback {
             next_ident: 1,
             sent: 0,
             dropped: 0,
+            corrupted: 0,
             unroutable: 0,
+            by_port: HashMap::new(),
         }
     }
 
     /// Register a listening port; returns the endpoint handle.
     pub fn register(&mut self, port: u16) -> EndpointId {
-        assert!(
-            self.endpoints.iter().all(|e| e.port != port),
-            "port {port} already registered"
-        );
+        assert!(!self.by_port.contains_key(&port), "port {port} already registered");
         self.endpoints.push(Endpoint { port, queue: VecDeque::new() });
-        EndpointId(self.endpoints.len() - 1)
+        let id = self.endpoints.len() - 1;
+        self.by_port.insert(port, id);
+        EndpointId(id)
+    }
+
+    /// The port an endpoint was registered on.
+    pub fn port_of(&self, id: EndpointId) -> u16 {
+        self.endpoints[id.0].port
     }
 
     /// Install a fault plan (tests only).
@@ -180,8 +212,22 @@ impl Loopback {
             self.dropped += 1;
             return;
         }
+        if self.fault.corrupt_every != 0
+            && n.is_multiple_of(self.fault.corrupt_every)
+            && payload_len > 0
+        {
+            // Flip one bit in the middle of the TPDU payload — past both
+            // headers, so the IP header still verifies and the damage is
+            // the TCP checksum's to catch.
+            let addr = slot + IP_HEADER_LEN + crate::wire::TCP_HEADER_LEN + payload_len / 2;
+            m.phase_push(memsim::mem::PhaseTag::System);
+            let b = m.read_u8(addr);
+            m.write_u8(addr, b ^ 0x04);
+            m.phase_pop();
+            self.corrupted += 1;
+        }
         let datagram = Datagram { addr: slot, len: total };
-        let Some(endpoint) = self.endpoints.iter_mut().find(|e| e.port == dst_port) else {
+        let Some(endpoint) = self.by_port.get(&dst_port).map(|&i| &mut self.endpoints[i]) else {
             self.unroutable += 1;
             return;
         };
@@ -299,6 +345,40 @@ mod tests {
             l2
         };
         let _ = &mut lb2;
+    }
+
+    #[test]
+    fn corrupt_every_flips_one_payload_bit() {
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        lb.set_faults(FaultPlan { corrupt_every: 2, ..Default::default() });
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for i in 0..16u8 {
+            m.write_u8(user.at(64 + i as usize), i);
+        }
+        // First datagram untouched, second corrupted; ACKs (no payload)
+        // are exempt even when the counter fires.
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 16);
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 16);
+        assert_eq!(lb.corrupted, 1);
+        let clean = lb.recv(rx).unwrap();
+        let dirty = lb.recv(rx).unwrap();
+        let payload = |d: &Datagram, m: &mut NativeMem<'_>| {
+            m.bytes(d.addr + IP_HEADER_LEN + TCP_HEADER_LEN, 16).to_vec()
+        };
+        let a = payload(&clean, &mut m);
+        let b = payload(&dirty, &mut m);
+        assert_eq!(a, (0..16u8).collect::<Vec<_>>());
+        let diffs: Vec<usize> = (0..16).filter(|&i| a[i] != b[i]).collect();
+        assert_eq!(diffs, vec![8], "exactly the middle byte differs");
+        assert_eq!(a[8] ^ b[8], 0x04, "exactly one bit flipped");
+        // IP header of the corrupted datagram still verifies.
+        assert!(Ipv4Header::at(dirty.addr).verify(&mut m));
+        // Pure ACK at the fault cadence: not corrupted.
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
+        assert_eq!(lb.corrupted, 1);
     }
 
     #[test]

