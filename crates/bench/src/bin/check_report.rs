@@ -1,0 +1,79 @@
+//! Offline schema check for the machine-readable run reports.
+//!
+//! Usage: `check_report <file.json> <path:type>...`
+//!
+//! Each spec is a dotted path into the document plus an expected type,
+//! e.g. `experiment:str`, `points:arr`, `points.0.paths.ilp.mbps:num`.
+//! Numeric array indices step into arrays. Types: `str`, `num` (any
+//! finite number), `arr`, `obj`, `bool`. The tool exits non-zero on the
+//! first unparseable file, missing key, or type mismatch — CI runs it
+//! against every emitted `BENCH_*.json` so a refactor that silently
+//! drops a field fails the build instead of the downstream consumer.
+
+use obs::Json;
+use std::process::ExitCode;
+
+/// Walk a dotted path; returns `None` when a segment is missing.
+fn walk<'a>(mut j: &'a Json, path: &str) -> Option<&'a Json> {
+    for seg in path.split('.') {
+        j = match j {
+            Json::Obj(_) => j.get(seg)?,
+            Json::Arr(v) => v.get(seg.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(j)
+}
+
+/// Does `j` satisfy the expected type tag?
+fn type_ok(j: &Json, ty: &str) -> bool {
+    match ty {
+        "str" => j.as_str().is_some(),
+        "num" => j.as_f64().is_some_and(f64::is_finite),
+        "arr" => j.as_arr().is_some(),
+        "obj" => matches!(j, Json::Obj(_)),
+        "bool" => matches!(j, Json::Bool(_)),
+        _ => false,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((file, specs)) = args.split_first() else {
+        eprintln!("usage: check_report <file.json> <path:type>...");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_report: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match obs::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("check_report: {file} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for spec in specs {
+        let Some((path, ty)) = spec.rsplit_once(':') else {
+            eprintln!("check_report: bad spec {spec:?} (want path:type)");
+            return ExitCode::FAILURE;
+        };
+        match walk(&doc, path) {
+            None => {
+                eprintln!("check_report: {file}: missing {path}");
+                return ExitCode::FAILURE;
+            }
+            Some(v) if !type_ok(v, ty) => {
+                eprintln!("check_report: {file}: {path} is not a {ty}");
+                return ExitCode::FAILURE;
+            }
+            Some(_) => {}
+        }
+    }
+    println!("check_report: {file}: {} checks passed", specs.len());
+    ExitCode::SUCCESS
+}

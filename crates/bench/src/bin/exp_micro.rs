@@ -15,6 +15,7 @@ use bench::paper::micro;
 use bench::report::banner;
 use checksum::InetChecksum;
 use memsim::{AddressSpace, Mem, NativeMem};
+use obs::Json;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -141,4 +142,28 @@ fn main() {
          function calls lose all of the ILP gain)",
         100.0 * (dynf - seq) / seq
     );
+
+    let report = Json::obj()
+        .set("experiment", Json::Str("micro".into()))
+        .set("message_bytes", Json::U64(BYTES as u64))
+        .set(
+            "paper",
+            Json::obj()
+                .set("sequential_mbps", Json::F64(micro::SEQUENTIAL_MBPS))
+                .set("fused_mbps", Json::F64(micro::FUSED_MBPS)),
+        )
+        .set(
+            "measured",
+            Json::obj()
+                .set("sequential_mbps", Json::F64(seq))
+                .set("fused_mbps", Json::F64(fus))
+                .set("fused_dyn_mbps", Json::F64(dynf)),
+        )
+        .set("fused_gain_pct", Json::F64(100.0 * (fus - seq) / seq))
+        .set("fused_dyn_gain_pct", Json::F64(100.0 * (dynf - seq) / seq));
+    let out = std::path::Path::new("BENCH_micro.json");
+    match obs::write_report(out, &report) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
 }

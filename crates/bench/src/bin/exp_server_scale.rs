@@ -13,10 +13,18 @@
 //! Total offered load is held near [`TOTAL_PAYLOAD`] by shrinking the
 //! per-connection file as N grows, so rows are comparable and the sweep
 //! stays tractable under cache simulation.
+//!
+//! Besides the tables, the run attaches an [`obs::Recorder`] to every
+//! point and writes `BENCH_server_scale.json`: per-path throughput,
+//! p50/p99 chunk latency (virtual ticks, send → client accept),
+//! per-stage work shares, and user-phase cache statistics. The recorder
+//! issues no [`memsim::Mem`] accesses, so the simulated numbers are
+//! bit-identical to an unobserved run.
 
 use bench::report::{banner, Table};
-use memsim::{HostModel, SimMem};
 use memsim::layout::AddressSpace;
+use memsim::{HostModel, SimMem};
+use obs::{Json, Metric, PathLabel, Recorder, Stage};
 use server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
 
 /// Approximate payload carried per run, split across connections.
@@ -30,6 +38,12 @@ struct Point {
     fairness: f64,
     l1d_miss: f64,
     mem_accesses: u64,
+    lat_p50: u64,
+    lat_p90: u64,
+    lat_p99: u64,
+    stage_shares: [f64; 3],
+    retransmits: u64,
+    rejected: u64,
 }
 
 fn run_point(n: usize, path: Path, host: &HostModel) -> Point {
@@ -47,7 +61,8 @@ fn run_point(n: usize, path: Path, host: &HostModel) -> Point {
     let _ = m.take_phase_stats(); // drop setup traffic
 
     let mut sched = RoundRobin::new();
-    let report = h.run(&mut m, &mut sched, path);
+    let mut rec = Recorder::new(4096);
+    let report = h.run_observed(&mut m, &mut sched, path, &mut rec);
     let (user, system) = m.take_phase_stats();
     assert_eq!(
         h.verify_outputs(&mut m),
@@ -65,6 +80,11 @@ fn run_point(n: usize, path: Path, host: &HostModel) -> Point {
         + host.cost(&system).total_us
         + chunks as f64 * per_chunk_us;
 
+    let pl = match path {
+        Path::Ilp => PathLabel::Ilp,
+        Path::NonIlp => PathLabel::NonIlp,
+    };
+    let lat = rec.hist(Metric::ChunkLatencyTicks);
     Point {
         payload: report.payload_bytes,
         rounds: report.rounds,
@@ -72,7 +92,48 @@ fn run_point(n: usize, path: Path, host: &HostModel) -> Point {
         fairness: report.fairness,
         l1d_miss: 100.0 * user.l1d_miss_ratio(),
         mem_accesses: user.memory_accesses,
+        lat_p50: lat.p50(),
+        lat_p90: lat.p90(),
+        lat_p99: lat.p99(),
+        stage_shares: [
+            rec.stage_share(pl, Stage::Initial),
+            rec.stage_share(pl, Stage::Integrated),
+            rec.stage_share(pl, Stage::Final),
+        ],
+        retransmits: report.retransmits,
+        rejected: report.rejected,
     }
+}
+
+/// One path's slice of a sweep point, as a JSON object.
+fn path_json(p: &Point) -> Json {
+    Json::obj()
+        .set("mbps", Json::F64(p.mbps))
+        .set("payload_bytes", Json::U64(p.payload))
+        .set("rounds", Json::U64(p.rounds))
+        .set("fairness", Json::F64(p.fairness))
+        .set(
+            "chunk_latency_ticks",
+            Json::obj()
+                .set("p50", Json::U64(p.lat_p50))
+                .set("p90", Json::U64(p.lat_p90))
+                .set("p99", Json::U64(p.lat_p99)),
+        )
+        .set(
+            "stage_shares",
+            Json::obj()
+                .set("initial", Json::F64(p.stage_shares[0]))
+                .set("integrated", Json::F64(p.stage_shares[1]))
+                .set("final", Json::F64(p.stage_shares[2])),
+        )
+        .set(
+            "cache",
+            Json::obj()
+                .set("l1d_miss_pct", Json::F64(p.l1d_miss))
+                .set("mem_accesses", Json::U64(p.mem_accesses)),
+        )
+        .set("retransmits", Json::U64(p.retransmits))
+        .set("rejected", Json::U64(p.rejected))
 }
 
 fn main() {
@@ -87,6 +148,11 @@ fn main() {
     let mut cache = Table::new(vec![
         "conns", "nonILP L1d miss%", "ILP L1d miss%", "nonILP mem acc", "ILP mem acc",
     ]);
+    let mut lat = Table::new(vec![
+        "conns", "nonILP p50", "nonILP p99", "ILP p50", "ILP p99", "ILP init%", "ILP integ%",
+        "ILP final%",
+    ]);
+    let mut points = Vec::new();
     for &n in &counts {
         let non = run_point(n, Path::NonIlp, &host);
         let ilp = run_point(n, Path::Ilp, &host);
@@ -108,14 +174,57 @@ fn main() {
             non.mem_accesses.to_string(),
             ilp.mem_accesses.to_string(),
         ]);
+        lat.row(vec![
+            n.to_string(),
+            non.lat_p50.to_string(),
+            non.lat_p99.to_string(),
+            ilp.lat_p50.to_string(),
+            ilp.lat_p99.to_string(),
+            format!("{:.0}", 100.0 * ilp.stage_shares[0]),
+            format!("{:.0}", 100.0 * ilp.stage_shares[1]),
+            format!("{:.0}", 100.0 * ilp.stage_shares[2]),
+        ]);
+        points.push(
+            Json::obj()
+                .set("conns", Json::U64(n as u64))
+                .set("gain_pct", Json::F64(gain))
+                .set(
+                    "paths",
+                    Json::obj()
+                        .set("non_ilp", path_json(&non))
+                        .set("ilp", path_json(&ilp)),
+                ),
+        );
     }
     tput.print();
     println!("\nUser-phase cache behaviour (SS10-30, 16 kB direct-mapped L1):");
     cache.print();
+    println!("\nChunk latency (virtual ticks, send → accept) and ILP stage shares:");
+    lat.print();
     println!(
         "\n(total offered load held near {} kB by shrinking per-connection\n\
          files as N grows; fairness is Jain's index over per-connection\n\
          bytes at the first completion, round-robin scheduling)",
         TOTAL_PAYLOAD / 1024
     );
+
+    let report = Json::obj()
+        .set("experiment", Json::Str("server_scale".into()))
+        .set("host", Json::Str("ss10_30".into()))
+        .set("total_payload_kb", Json::U64((TOTAL_PAYLOAD / 1024) as u64))
+        .set("chunk_bytes", Json::U64(CHUNK as u64))
+        .set("scheduler", Json::Str("round-robin".into()))
+        .set("points", Json::Arr(points))
+        .set(
+            "tables",
+            Json::obj()
+                .set("throughput", tput.to_json())
+                .set("cache", cache.to_json())
+                .set("latency", lat.to_json()),
+        );
+    let out = std::path::Path::new("BENCH_server_scale.json");
+    match obs::write_report(out, &report) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", out.display()),
+    }
 }

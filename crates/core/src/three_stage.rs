@@ -17,6 +17,7 @@
 //! and the final closure is the only place a verdict can be produced.
 
 use memsim::Mem;
+use obs::{Layer, NoopObserver, PathLabel, SpanObserver, Stage, Work};
 
 /// Why the final stage rejected a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,9 +69,61 @@ pub fn three_stage<M: Mem, C, T>(
     integrated: impl FnOnce(&mut M, &C) -> T,
     final_stage: impl FnOnce(&mut M, &C, &T) -> Result<(), Reject>,
 ) -> Result<T, Reject> {
-    let ctx = initial(m)?;
+    three_stage_observed(
+        m,
+        &mut NoopObserver,
+        PathLabel::Ilp,
+        [Layer::Tcp, Layer::Fused, Layer::Tcp],
+        initial,
+        integrated,
+        final_stage,
+    )
+}
+
+/// [`three_stage`] with per-stage work attribution.
+///
+/// Each stage is bracketed with [`Mem::work_counters`] snapshots; the
+/// delta is reported to `obs` as a span tagged `path`, the stage it ran
+/// in, and the corresponding entry of `layers` (`[initial, integrated,
+/// final]`). A rejecting stage still reports its span — the work of
+/// parsing a bad header or verifying a failing checksum is real cost —
+/// before the reject propagates. With [`NoopObserver`] the snapshots
+/// are guarded out by `O::ENABLED` and this compiles to exactly
+/// [`three_stage`].
+///
+/// # Errors
+/// Propagates a [`Reject`] from the initial or final stage.
+#[allow(clippy::too_many_arguments)]
+pub fn three_stage_observed<M: Mem, C, T, O: SpanObserver>(
+    m: &mut M,
+    obs: &mut O,
+    path: PathLabel,
+    layers: [Layer; 3],
+    initial: impl FnOnce(&mut M) -> Result<C, Reject>,
+    integrated: impl FnOnce(&mut M, &C) -> T,
+    final_stage: impl FnOnce(&mut M, &C, &T) -> Result<(), Reject>,
+) -> Result<T, Reject> {
+    let stages = [Stage::Initial, Stage::Integrated, Stage::Final];
+
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
+    let ctx = initial(m);
+    if O::ENABLED {
+        obs.span(path, stages[0], layers[0], Work::delta(before, m.work_counters()));
+    }
+    let ctx = ctx?;
+
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     let out = integrated(m, &ctx);
-    final_stage(m, &ctx, &out)?;
+    if O::ENABLED {
+        obs.span(path, stages[1], layers[1], Work::delta(before, m.work_counters()));
+    }
+
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
+    let verdict = final_stage(m, &ctx, &out);
+    if O::ENABLED {
+        obs.span(path, stages[2], layers[2], Work::delta(before, m.work_counters()));
+    }
+    verdict?;
     Ok(out)
 }
 

@@ -79,6 +79,20 @@ pub trait Mem {
     #[inline(always)]
     fn phase_pop(&mut self) {}
 
+    /// Monotone `(user, system)` work counters — a time-like proxy an
+    /// observer can difference across a span to attribute cost to a
+    /// protocol stage. Uninstrumented memories return `(0, 0)` (so all
+    /// deltas are zero and observation over [`NativeMem`] stays free);
+    /// [`crate::SimMem`] derives the counters from its phase buckets:
+    /// memory accesses weighted by the cache level that served them,
+    /// plus ALU operations and instruction fetches. The counters reset
+    /// with [`crate::SimMem::take_phase_stats`], so spans must not
+    /// straddle a `take` boundary (deltas saturate to zero if they do).
+    #[inline(always)]
+    fn work_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     // --- convenience helpers (network byte order) ---
 
     /// Read one byte.

@@ -254,6 +254,20 @@ impl Mem for SimMem {
     fn phase_pop(&mut self) {
         self.phase_stack.pop();
     }
+
+    /// A time-like work proxy per phase bucket: every data access costs
+    /// one unit, ALU operations one unit each, and accesses that fell
+    /// through to the L2 or to memory (data or instruction fetch) add a
+    /// penalty on top — the same shape as [`crate::HostModel::cost`]
+    /// without the host-specific cycle constants. Observers difference
+    /// these across spans; see [`Mem::work_counters`].
+    fn work_counters(&self) -> (u64, u64) {
+        let work = |s: &crate::stats::RunStats| {
+            s.reads.total() + s.writes.total() + s.compute_ops + 3 * s.l2_accesses
+                + 10 * s.memory_accesses
+        };
+        (work(&self.buckets[0]), work(&self.buckets[1]))
+    }
 }
 
 #[cfg(test)]

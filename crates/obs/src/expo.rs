@@ -1,0 +1,120 @@
+//! Exposition: Prometheus-style text dump and JSON run-report files.
+//!
+//! Two consumers, two formats. A human tailing a run wants the flat
+//! `name{label="…"} value` lines Prometheus popularised — greppable,
+//! diffable, no tooling needed. CI and notebooks want one JSON document
+//! per run (`BENCH_*.json`) whose shape a schema check can hold stable.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::recorder::Recorder;
+use crate::span::{Counter, Layer, Metric, PathLabel, Stage};
+
+/// Render a recorder in Prometheus text exposition format. Counter and
+/// work-matrix series carry `# TYPE … counter`; histogram series emit
+/// cumulative `_bucket{le="…"}` lines plus `_sum` and `_count`, exactly
+/// as the format specifies.
+pub fn prometheus_text(r: &Recorder) -> String {
+    let mut out = String::new();
+
+    for &c in &Counter::ALL {
+        let name = c.name();
+        out.push_str(&format!("# TYPE ilp_{name} counter\n"));
+        out.push_str(&format!("ilp_{name} {}\n", r.counter(c)));
+    }
+
+    out.push_str("# TYPE ilp_work_units counter\n");
+    for &p in &PathLabel::ALL {
+        for &s in &Stage::ALL {
+            for &l in &Layer::ALL {
+                let w = r.work(p, s, l);
+                if w > 0 {
+                    out.push_str(&format!(
+                        "ilp_work_units{{path=\"{}\",stage=\"{}\",layer=\"{}\"}} {w}\n",
+                        p.name(),
+                        s.name(),
+                        l.name()
+                    ));
+                }
+            }
+        }
+    }
+
+    for &m in &Metric::ALL {
+        let h = r.hist(m);
+        let name = m.name();
+        out.push_str(&format!("# TYPE ilp_{name} histogram\n"));
+        let mut cum = 0u64;
+        for (bound, count) in h.buckets() {
+            cum += count;
+            out.push_str(&format!("ilp_{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("ilp_{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("ilp_{name}_sum {}\n", h.sum()));
+        out.push_str(&format!("ilp_{name}_count {}\n", h.count()));
+    }
+
+    out
+}
+
+/// Write a JSON run report to `path`, pretty-printed with a trailing
+/// newline. The write goes through a `.tmp` sibling and a rename so a
+/// crashed run never leaves a half-written report for CI to choke on.
+pub fn write_report(path: &Path, report: &Json) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(report.render_pretty().as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{EventKind, SpanObserver, Work};
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let mut r = Recorder::new(8);
+        r.count(Counter::ChunksSent, 3);
+        r.sample(Metric::ChunkLatencyTicks, 5);
+        r.sample(Metric::ChunkLatencyTicks, 300);
+        r.span(PathLabel::Ilp, Stage::Integrated, Layer::Fused, Work { user: 10, system: 2 });
+        r.event(EventKind::ChunkSent, 0, 0);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE ilp_chunks_sent counter\nilp_chunks_sent 3\n"));
+        assert!(text.contains(
+            "ilp_work_units{path=\"ilp\",stage=\"integrated\",layer=\"fused\"} 10\n"
+        ));
+        assert!(text.contains(
+            "ilp_work_units{path=\"ilp\",stage=\"integrated\",layer=\"kernel\"} 2\n"
+        ));
+        assert!(text.contains("ilp_chunk_latency_ticks_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ilp_chunk_latency_ticks_sum 305\n"));
+        assert!(text.contains("ilp_chunk_latency_ticks_count 2\n"));
+        // Cumulative buckets are non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn write_report_roundtrips() {
+        let dir = std::env::temp_dir().join("obs_expo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let j = Json::obj().set("ok", Json::Bool(true)).set("n", Json::U64(7));
+        write_report(&path, &j).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert_eq!(crate::json::parse(&text).unwrap(), j);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

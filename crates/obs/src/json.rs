@@ -1,0 +1,483 @@
+//! A hand-rolled JSON value, renderer and parser.
+//!
+//! The workspace carries no registry dependencies, so the run reports
+//! cannot lean on serde. This module is the minimum honest JSON kit:
+//! a value tree, an escape-correct renderer (every control character,
+//! quote and backslash escaped; non-finite floats rendered as `null`
+//! because JSON has no spelling for them), and a recursive-descent
+//! parser good enough for the CI schema check to read back what the
+//! renderer wrote.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Objects use a `BTreeMap` so rendering is
+/// deterministic — identical runs produce byte-identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer, rendered without a decimal point.
+    U64(u64),
+    /// A signed integer, rendered without a decimal point.
+    I64(i64),
+    /// A float; NaN and infinities render as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministically ordered keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Insert `key → value` (builder style; panics if `self` is not an
+    /// object, which is always a programming error here).
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(m) => {
+                m.insert(key.to_string(), value);
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Look up a key (`None` for absent keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(v) => Some(v as f64),
+            Json::I64(v) => Some(v as f64),
+            Json::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation, trailing newline included —
+    /// the format the `BENCH_*.json` files use.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a fractional part (1.0, not 1) so a
+                    // reader can tell floats from integers.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(map) => {
+                let entries: Vec<(&String, &Json)> = map.iter().collect();
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+/// Write a comma-separated sequence with optional pretty indentation.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+/// Write a string literal with all required escapes.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Returns a message with a byte offset on
+/// malformed input. Handles everything the renderer emits plus the
+/// usual surface (whitespace, `\uXXXX` escapes incl. surrogate pairs,
+/// exponents).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!("bad surrogate at byte {}", self.pos));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(
+                                c.ok_or_else(|| format!("bad codepoint at byte {}", self.pos))?,
+                            );
+                            continue; // hex4 already advanced
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad hex at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escapes_correctly() {
+        let j = Json::Str("a\"b\\c\nd\te\u{01}f".to_string());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(2.0).render(), "2.0", "floats keep a fractional part");
+    }
+
+    #[test]
+    fn object_keys_are_deterministic() {
+        let j = Json::obj()
+            .set("zeta", Json::U64(1))
+            .set("alpha", Json::U64(2))
+            .set("mid", Json::Null);
+        assert_eq!(j.render(), r#"{"alpha":2,"mid":null,"zeta":1}"#);
+    }
+
+    #[test]
+    fn roundtrips_through_parser() {
+        let j = Json::obj()
+            .set("name", Json::Str("run \"x\"\n".to_string()))
+            .set("n", Json::U64(42))
+            .set("neg", Json::I64(-7))
+            .set("ratio", Json::F64(0.625))
+            .set("flag", Json::Bool(true))
+            .set("nothing", Json::Null)
+            .set("items", Json::Arr(vec![Json::U64(1), Json::Str("two".into()), Json::obj()]));
+        for rendered in [j.render(), j.render_pretty()] {
+            let back = parse(&rendered).expect("parse back");
+            // -7 parses as I64, 42 as U64, 0.625 as F64 — exact match.
+            assert_eq!(back, j, "roundtrip of {rendered}");
+        }
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogates() {
+        assert_eq!(parse(r#""é""#).unwrap(), Json::Str("é".into()));
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "tru", "1 2", "{\"a\":}"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_numbers_by_kind() {
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::U64(u64::MAX));
+        assert_eq!(parse("-1").unwrap(), Json::I64(-1));
+        assert_eq!(parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+    }
+}

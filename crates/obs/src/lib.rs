@@ -1,0 +1,48 @@
+//! # obs — cross-layer tracing and metrics
+//!
+//! The paper's whole argument is about *where time and memory traffic
+//! go* across layers, yet a reproduction that only reports per-run
+//! totals cannot see which of the three processing stages (§2.1:
+//! initial control operations, the integrated ILP loop, the final
+//! stage) dominates, nor how the cost splits across layers
+//! (marshalling, cipher, checksum, TCP control, kernel). This crate is
+//! the measurement substrate the rest of the workspace hooks into:
+//!
+//! * [`hist::Histogram`] — log₂-bucketed value histograms with exact
+//!   count/sum/min/max, mergeable, with percentile queries;
+//! * [`trace::TraceRing`] — a fixed-capacity ring buffer of
+//!   [`trace::TraceEvent`]s stamped with the server's virtual clock,
+//!   overwriting the oldest events on wrap;
+//! * [`span`] — the [`span::SpanObserver`] hook trait that
+//!   `ilp_core::three_stage`, `utcp`, and `server::pipeline` invoke
+//!   around each processing span, with a [`span::NoopObserver`] whose
+//!   `ENABLED = false` lets every instrumentation site compile away;
+//! * [`recorder::Recorder`] — the everything-in-one observer: atomic
+//!   counters, histograms per metric, the per-(path, stage, layer) work
+//!   matrix, and the event trace;
+//! * [`json`] — a hand-rolled, escape-correct JSON value, renderer and
+//!   parser (no serde; the workspace carries no registry dependencies);
+//! * [`expo`] — exposition: Prometheus-style text dump and the
+//!   machine-readable run-report writer behind the `BENCH_*.json` files.
+//!
+//! The crate is deliberately zero-dependency (std only) and knows
+//! nothing about `memsim` or the protocol crates: work is reported to it
+//! as plain `(user, system)` counter deltas, so any memory
+//! implementation that can count — or none — plugs in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod span;
+pub mod trace;
+
+pub use expo::{prometheus_text, write_report};
+pub use hist::Histogram;
+pub use json::Json;
+pub use recorder::Recorder;
+pub use span::{Counter, EventKind, Layer, Metric, NoopObserver, PathLabel, SpanObserver, Stage, Work};
+pub use trace::{TraceEvent, TraceRing};

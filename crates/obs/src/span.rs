@@ -1,0 +1,448 @@
+//! The observation vocabulary and the [`SpanObserver`] hook trait.
+//!
+//! Instrumentation sites in `ilp_core`, `utcp` and `server` bracket each
+//! processing span with a work-counter snapshot and report the delta
+//! here, tagged with *which path* ran (ILP or non-ILP), *which of the
+//! paper's three stages* it belongs to (§2.1), and *which layer* the
+//! instructions came from. The trait's default methods are empty and
+//! `#[inline]`, and [`NoopObserver`] additionally sets
+//! [`SpanObserver::ENABLED`] to `false`, so every call site guarded by
+//! `O::ENABLED` monomorphises to nothing — the native-CPU benches pay
+//! zero cost when observation is off.
+
+/// Which data path produced a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathLabel {
+    /// The fused single-loop path.
+    Ilp,
+    /// The conventional pass-per-layer path.
+    NonIlp,
+}
+
+impl PathLabel {
+    /// Stable lowercase name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathLabel::Ilp => "ilp",
+            PathLabel::NonIlp => "non_ilp",
+        }
+    }
+
+    /// All paths, in index order.
+    pub const ALL: [PathLabel; 2] = [PathLabel::Ilp, PathLabel::NonIlp];
+
+    /// Dense index for matrix storage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The three-stage protocol-processing split (§2.1, after Abbott &
+/// Peterson): where in a packet's life a span ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Initial control operations: demultiplexing, header parse, buffer
+    /// reservation.
+    Initial,
+    /// The integrated data manipulations — or, on the non-ILP path, the
+    /// separate per-layer passes occupying the same position.
+    Integrated,
+    /// The final protocol stage, where messages are accepted or
+    /// rejected and TCP state moves.
+    Final,
+}
+
+impl Stage {
+    /// Stable lowercase name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Initial => "initial",
+            Stage::Integrated => "integrated",
+            Stage::Final => "final",
+        }
+    }
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 3] = [Stage::Initial, Stage::Integrated, Stage::Final];
+
+    /// Dense index for matrix storage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Which layer's code a span executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// XDR marshalling / unmarshalling passes.
+    Marshal,
+    /// Encryption / decryption passes.
+    Cipher,
+    /// Checksum passes.
+    Checksum,
+    /// The fused ILP loop — marshal+cipher+checksum collapsed into one
+    /// span, which is precisely the point: the layers are no longer
+    /// separable once integrated.
+    Fused,
+    /// User-level TCP control: header build/parse, TCB updates, ring
+    /// copies, ACK processing.
+    Tcp,
+    /// Kernel part: system copies, IP, driver, context switch. Spans
+    /// never name this layer directly — the system share of any span's
+    /// work is attributed here automatically.
+    Kernel,
+}
+
+impl Layer {
+    /// Stable lowercase name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Marshal => "marshal",
+            Layer::Cipher => "cipher",
+            Layer::Checksum => "checksum",
+            Layer::Fused => "fused",
+            Layer::Tcp => "tcp",
+            Layer::Kernel => "kernel",
+        }
+    }
+
+    /// All layers, in index order.
+    pub const ALL: [Layer; 6] =
+        [Layer::Marshal, Layer::Cipher, Layer::Checksum, Layer::Fused, Layer::Tcp, Layer::Kernel];
+
+    /// Dense index for matrix storage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A work delta measured across a span: abstract work units (a
+/// time-like proxy: memory accesses weighted by service level, plus ALU
+/// operations) split into the user phase and the system (kernel) phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Application-space work units.
+    pub user: u64,
+    /// Kernel-phase work units (system copies, IP, context switch).
+    pub system: u64,
+}
+
+impl Work {
+    /// The delta from `before` to `after` snapshots (`(user, system)`
+    /// counter pairs), saturating so a counter reset mid-span yields 0
+    /// rather than wrapping.
+    pub fn delta(before: (u64, u64), after: (u64, u64)) -> Work {
+        Work {
+            user: after.0.saturating_sub(before.0),
+            system: after.1.saturating_sub(before.1),
+        }
+    }
+
+    /// Total work units.
+    pub fn total(self) -> u64 {
+        self.user + self.system
+    }
+}
+
+/// Run-level counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Chunks handed to the transport by the server.
+    ChunksSent,
+    /// Chunks accepted by clients.
+    ChunksDelivered,
+    /// Final-stage rejects: checksum mismatch.
+    RejectChecksum,
+    /// Final-stage rejects: duplicate / out-of-order segment.
+    RejectOutOfOrder,
+    /// Final-stage rejects: unmarshalling failure.
+    RejectBadFormat,
+    /// Initial-stage rejects: no matching connection.
+    RejectNoConnection,
+    /// Retransmissions across all connections.
+    Retransmits,
+    /// Handshakes completed.
+    Handshakes,
+    /// SYNs retried after the retry interval.
+    SynRetries,
+    /// Datagrams dropped by fault injection.
+    FaultDrops,
+    /// Datagrams bit-flipped by fault injection.
+    FaultCorruptions,
+    /// Datagrams for a port nobody listens on.
+    Unroutable,
+}
+
+impl Counter {
+    /// Stable snake_case name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ChunksSent => "chunks_sent",
+            Counter::ChunksDelivered => "chunks_delivered",
+            Counter::RejectChecksum => "reject_checksum",
+            Counter::RejectOutOfOrder => "reject_out_of_order",
+            Counter::RejectBadFormat => "reject_bad_format",
+            Counter::RejectNoConnection => "reject_no_connection",
+            Counter::Retransmits => "retransmits",
+            Counter::Handshakes => "handshakes",
+            Counter::SynRetries => "syn_retries",
+            Counter::FaultDrops => "fault_drops",
+            Counter::FaultCorruptions => "fault_corruptions",
+            Counter::Unroutable => "unroutable",
+        }
+    }
+
+    /// All counters, in index order.
+    pub const ALL: [Counter; 12] = [
+        Counter::ChunksSent,
+        Counter::ChunksDelivered,
+        Counter::RejectChecksum,
+        Counter::RejectOutOfOrder,
+        Counter::RejectBadFormat,
+        Counter::RejectNoConnection,
+        Counter::Retransmits,
+        Counter::Handshakes,
+        Counter::SynRetries,
+        Counter::FaultDrops,
+        Counter::FaultCorruptions,
+        Counter::Unroutable,
+    ];
+
+    /// Dense index for array storage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Histogram-valued metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Virtual ticks from a chunk's first transmission to its
+    /// acceptance by the client (retransmission rounds included).
+    ChunkLatencyTicks,
+    /// Virtual ticks from a client's first SYN to an established
+    /// handshake.
+    HandshakeTicks,
+    /// Ready-connection count offered to the scheduler each round.
+    ReadyQueueDepth,
+    /// Payload bytes per delivered chunk.
+    ChunkBytes,
+    /// Kernel-part datagrams queued at an endpoint (high-water samples).
+    KernelQueueDepth,
+}
+
+impl Metric {
+    /// Stable snake_case name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::ChunkLatencyTicks => "chunk_latency_ticks",
+            Metric::HandshakeTicks => "handshake_ticks",
+            Metric::ReadyQueueDepth => "ready_queue_depth",
+            Metric::ChunkBytes => "chunk_bytes",
+            Metric::KernelQueueDepth => "kernel_queue_depth",
+        }
+    }
+
+    /// All metrics, in index order.
+    pub const ALL: [Metric; 5] = [
+        Metric::ChunkLatencyTicks,
+        Metric::HandshakeTicks,
+        Metric::ReadyQueueDepth,
+        Metric::ChunkBytes,
+        Metric::KernelQueueDepth,
+    ];
+
+    /// Dense index for array storage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Packet-level events for the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A client (re-)sent its SYN.
+    SynSent,
+    /// A handshake completed (value: ticks since first SYN).
+    Established,
+    /// The server handed a chunk to the transport (value: chunk seq).
+    ChunkSent,
+    /// A client accepted a chunk (value: chunk seq).
+    ChunkAccepted,
+    /// A client rejected a segment (value: reject counter index).
+    ChunkRejected,
+    /// A connection's RTO fired and retransmitted (value: total so far).
+    Retransmit,
+    /// A connection delivered its last chunk (value: duration ticks).
+    Completed,
+}
+
+impl EventKind {
+    /// All event kinds, in index order.
+    pub const ALL: [EventKind; 7] = [
+        EventKind::SynSent,
+        EventKind::Established,
+        EventKind::ChunkSent,
+        EventKind::ChunkAccepted,
+        EventKind::ChunkRejected,
+        EventKind::Retransmit,
+        EventKind::Completed,
+    ];
+
+    /// Dense index, matching [`EventKind::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::SynSent => 0,
+            EventKind::Established => 1,
+            EventKind::ChunkSent => 2,
+            EventKind::ChunkAccepted => 3,
+            EventKind::ChunkRejected => 4,
+            EventKind::Retransmit => 5,
+            EventKind::Completed => 6,
+        }
+    }
+
+    /// Stable snake_case name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SynSent => "syn_sent",
+            EventKind::Established => "established",
+            EventKind::ChunkSent => "chunk_sent",
+            EventKind::ChunkAccepted => "chunk_accepted",
+            EventKind::ChunkRejected => "chunk_rejected",
+            EventKind::Retransmit => "retransmit",
+            EventKind::Completed => "completed",
+        }
+    }
+}
+
+/// The hook trait instrumented code reports through.
+///
+/// Every method has an empty default body, so observers implement only
+/// what they consume. Call sites guard bookkeeping that has a cost of
+/// its own (work-counter snapshots, latency maps) with
+/// [`SpanObserver::ENABLED`], which is a `const`: with
+/// [`NoopObserver`] the branch folds to `false` at monomorphisation
+/// time and the instrumentation vanishes from the generated code.
+pub trait SpanObserver {
+    /// Whether this observer wants data at all.
+    const ENABLED: bool = true;
+
+    /// The server's virtual clock advanced; subsequent events are
+    /// stamped with `now`.
+    #[inline]
+    fn tick(&mut self, now: u64) {
+        let _ = now;
+    }
+
+    /// A processing span completed: `work` was spent in `layer` during
+    /// `stage` of `path`. The system share of `work` is attributed to
+    /// [`Layer::Kernel`] by aggregating observers.
+    #[inline]
+    fn span(&mut self, path: PathLabel, stage: Stage, layer: Layer, work: Work) {
+        let _ = (path, stage, layer, work);
+    }
+
+    /// Increment a run counter by `n`.
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Record one histogram sample.
+    #[inline]
+    fn sample(&mut self, metric: Metric, value: u64) {
+        let _ = (metric, value);
+    }
+
+    /// Append a packet-level event to the trace, stamped with the last
+    /// [`SpanObserver::tick`].
+    #[inline]
+    fn event(&mut self, kind: EventKind, conn: u32, value: u64) {
+        let _ = (kind, conn, value);
+    }
+}
+
+/// The observer that observes nothing, at zero cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SpanObserver for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding through a mutable reference, so call sites can hand out
+/// `&mut O` without consuming the observer.
+impl<O: SpanObserver> SpanObserver for &mut O {
+    const ENABLED: bool = O::ENABLED;
+
+    #[inline]
+    fn tick(&mut self, now: u64) {
+        (**self).tick(now);
+    }
+
+    #[inline]
+    fn span(&mut self, path: PathLabel, stage: Stage, layer: Layer, work: Work) {
+        (**self).span(path, stage, layer, work);
+    }
+
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        (**self).count(counter, n);
+    }
+
+    #[inline]
+    fn sample(&mut self, metric: Metric, value: u64) {
+        (**self).sample(metric, value);
+    }
+
+    #[inline]
+    fn event(&mut self, kind: EventKind, conn: u32, value: u64) {
+        (**self).event(kind, conn, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        for (i, l) in Layer::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, p) in PathLabel::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn work_delta_saturates() {
+        let w = Work::delta((100, 50), (150, 60));
+        assert_eq!(w, Work { user: 50, system: 10 });
+        assert_eq!(w.total(), 60);
+        // A counter reset between snapshots must not wrap.
+        let w = Work::delta((100, 50), (0, 0));
+        assert_eq!(w, Work { user: 0, system: 0 });
+    }
+
+    #[test]
+    fn noop_observer_is_disabled() {
+        const { assert!(!NoopObserver::ENABLED) };
+        fn enabled<O: SpanObserver>(_o: &O) -> bool {
+            O::ENABLED
+        }
+        let mut o = NoopObserver;
+        assert!(!enabled(&o));
+        assert!(!enabled(&&mut o));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-capacity ring buffer of packet-level events.
+//!
+//! A full per-packet log of a 1024-connection run would dwarf the run
+//! itself, but the *recent* history is exactly what a post-mortem needs
+//! (which chunks were in flight when the stall started, which
+//! connection kept rejecting). The ring keeps the last `capacity`
+//! events, overwrites the oldest on wrap, and counts what it dropped so
+//! a report can say "showing 256 of 12 480 events" instead of silently
+//! pretending completeness.
+
+use crate::span::EventKind;
+
+/// One packet-level event, stamped with the server's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual tick at which the event was observed.
+    pub tick: u64,
+    /// Connection index the event belongs to.
+    pub conn: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Event-specific payload (chunk seq, latency ticks, ...); see the
+    /// [`EventKind`] variants for each one's meaning.
+    pub value: u64,
+}
+
+/// A bounded event trace that overwrites its oldest entries when full.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event (only meaningful once full).
+    head: usize,
+    /// Total events ever pushed, including overwritten ones.
+    pushed: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events. A zero capacity is
+    /// bumped to 1 so `push` never has to special-case it.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing { buf: Vec::with_capacity(capacity), capacity, head: 0, pushed: 0 }
+    }
+
+    /// Append an event, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed, including those since overwritten.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Events lost to overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64) -> TraceEvent {
+        TraceEvent { tick, conn: 0, kind: EventKind::ChunkSent, value: tick }
+    }
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let mut r = TraceRing::new(4);
+        assert!(r.is_empty());
+        for t in 0..4 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overwritten(), 0);
+        let ticks: Vec<u64> = r.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [0, 1, 2, 3]);
+
+        // Two more pushes evict the two oldest.
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 6);
+        assert_eq!(r.overwritten(), 2);
+        let ticks: Vec<u64> = r.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [2, 3, 4, 5], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn wraps_many_times_and_stays_ordered() {
+        let mut r = TraceRing::new(3);
+        for t in 0..100 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_pushed(), 100);
+        assert_eq!(r.overwritten(), 97);
+        let ticks: Vec<u64> = r.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [97, 98, 99]);
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped() {
+        let mut r = TraceRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().tick, 2);
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_push_order() {
+        let mut r = TraceRing::new(8);
+        for t in [5, 1, 9] {
+            r.push(ev(t));
+        }
+        let ticks: Vec<u64> = r.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [5, 1, 9]);
+    }
+}

@@ -18,9 +18,11 @@
 //! measures come precisely from that interleaving.
 
 use cipher::{CipherKernel, SimplifiedSafer, VerySimple};
+use ilp_core::Reject;
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::Mem;
+use obs::{Counter, EventKind, Metric, NoopObserver, PathLabel, SpanObserver};
 pub use rpcapp::app::Path;
 use utcp::{Connection, EndpointId, FaultPlan, Loopback, SendError, UtcpConfig};
 
@@ -28,10 +30,51 @@ use crate::clock::VirtualClock;
 use crate::conn_table::{ConnId, ConnTable, Session, SessionState};
 use crate::handshake::{self, LISTEN_PORT};
 use crate::pipeline::{
-    recv_chunk_ilp, recv_chunk_non_ilp, send_chunk_ilp, send_chunk_non_ilp, Scratch,
+    recv_chunk_ilp_obs, recv_chunk_non_ilp_obs, send_chunk_ilp_obs, send_chunk_non_ilp_obs,
+    Scratch,
 };
 use crate::sched::Scheduler;
 use crate::stats::{jain_fairness, PerConnStats};
+
+/// The span path label for a harness [`Path`].
+fn path_label(path: Path) -> PathLabel {
+    match path {
+        Path::Ilp => PathLabel::Ilp,
+        Path::NonIlp => PathLabel::NonIlp,
+    }
+}
+
+/// The reject counter an error maps to (out-of-order segments surface
+/// as `Malformed` from the transport's final stage).
+fn reject_counter(r: &Reject) -> Counter {
+    match r {
+        Reject::BadChecksum { .. } => Counter::RejectChecksum,
+        Reject::Malformed(_) => Counter::RejectOutOfOrder,
+        Reject::BadFormat(_) => Counter::RejectBadFormat,
+        Reject::NoConnection => Counter::RejectNoConnection,
+    }
+}
+
+/// Per-run bookkeeping the observer needs but the protocol does not:
+/// the virtual tick each chunk was first handed to the transport, so
+/// acceptance can be turned into an end-to-end latency sample.
+struct ObsState {
+    /// `send_tick[conn][chunk_seq]`, `u64::MAX` = not sent yet.
+    send_tick: Vec<Vec<u64>>,
+}
+
+impl ObsState {
+    fn new<O: SpanObserver>(chunks_per_conn: &[usize]) -> Self {
+        // Allocated only when the observer is live; the no-op path
+        // carries an empty table.
+        let send_tick = if O::ENABLED {
+            chunks_per_conn.iter().map(|&c| vec![u64::MAX; c]).collect()
+        } else {
+            Vec::new()
+        };
+        ObsState { send_tick }
+    }
+}
 
 /// The server's IP address.
 pub const SERVER_IP: u32 = 0x0A00_0001;
@@ -120,6 +163,8 @@ struct ClientSide {
     chunks: u64,
     rejected: u64,
     last_syn: Option<u64>,
+    /// Tick of the very first SYN (for handshake-latency samples).
+    first_syn: Option<u64>,
 }
 
 /// What a finished run did, across all connections.
@@ -245,6 +290,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
                 chunks: 0,
                 rejected: 0,
                 last_syn: None,
+                first_syn: None,
             });
         }
         ScaleHarness {
@@ -288,15 +334,43 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
         sched: &mut dyn Scheduler,
         path: Path,
     ) -> AggregateReport {
+        self.run_observed(m, sched, path, &mut NoopObserver)
+    }
+
+    /// [`ScaleHarness::run`] with an observer attached: per-stage spans
+    /// flow out of every pipeline call, and the harness itself emits
+    /// run counters (chunks, rejects by cause, retransmits,
+    /// handshakes), latency samples (per-chunk send→accept, first
+    /// SYN→established), queue-depth samples, and a packet-level event
+    /// trace stamped with the virtual clock. With [`NoopObserver`] this
+    /// is exactly [`ScaleHarness::run`] — every observation site is
+    /// guarded by `O::ENABLED` and compiles away, and an attached
+    /// observer issues no [`Mem`] accesses, so simulated cost is
+    /// bit-identical either way.
+    ///
+    /// # Panics
+    /// Same stall / `max_rounds` conditions as [`ScaleHarness::run`].
+    pub fn run_observed<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        sched: &mut dyn Scheduler,
+        path: Path,
+        obs: &mut O,
+    ) -> AggregateReport {
         let n = self.table.len();
+        let chunks_per_conn: Vec<usize> = self.table.iter().map(|s| s.chunks_total()).collect();
+        let mut st = ObsState::new::<O>(&chunks_per_conn);
         let mut last_progress = 0u64;
         let mut bytes_seen = 0u64;
         loop {
             let now = self.clock.advance();
-            self.drive_handshakes(m, now);
-            self.drive_sends(m, sched, path, n);
-            self.drive_receives(m, path, n);
-            self.settle_round(m, now, n);
+            if O::ENABLED {
+                obs.tick(now);
+            }
+            self.drive_handshakes(m, now, obs);
+            self.drive_sends(m, sched, path, n, now, obs, &mut st);
+            self.drive_receives(m, path, n, now, obs, &st);
+            self.settle_round(m, now, n, path, obs);
 
             if self.table.iter().all(|s| s.state == SessionState::Done) {
                 break;
@@ -312,11 +386,18 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
             );
             assert!(now < self.cfg.max_rounds, "exceeded max_rounds {}", self.cfg.max_rounds);
         }
+        if O::ENABLED {
+            // Kernel-part totals are cheapest to read once at the end;
+            // they are cumulative over the whole run.
+            obs.count(Counter::FaultDrops, self.lb.dropped);
+            obs.count(Counter::FaultCorruptions, self.lb.corrupted);
+            obs.count(Counter::Unroutable, self.lb.unroutable);
+        }
         self.report(sched.name())
     }
 
     /// Step 1: SYN retries, accepts, SYN-ACK completion.
-    fn drive_handshakes<M: Mem>(&mut self, m: &mut M, now: u64) {
+    fn drive_handshakes<M: Mem, O: SpanObserver>(&mut self, m: &mut M, now: u64, obs: &mut O) {
         let n = self.clients.len();
         for i in 0..n {
             if self.clients[i].established {
@@ -341,6 +422,15 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
                 c.data_port,
                 c.weight,
             );
+            if O::ENABLED {
+                if self.clients[i].last_syn.is_some() {
+                    obs.count(Counter::SynRetries, 1);
+                }
+                obs.event(EventKind::SynSent, i as u32, 0);
+            }
+            if self.clients[i].first_syn.is_none() {
+                self.clients[i].first_syn = Some(now);
+            }
             self.clients[i].last_syn = Some(now);
         }
         // Server: accept everything pending on the listen endpoint. The
@@ -377,14 +467,31 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
             {
                 self.clients[i].rx.set_peer_iss(siss);
                 self.clients[i].established = true;
+                if O::ENABLED {
+                    obs.count(Counter::Handshakes, 1);
+                    let took = now.saturating_sub(self.clients[i].first_syn.unwrap_or(now));
+                    obs.sample(Metric::HandshakeTicks, took);
+                    obs.event(EventKind::Established, i as u32, took);
+                }
             }
         }
     }
 
     /// Step 2: scheduler-driven sends until nobody is ready (or the
     /// per-round burst bound trips).
-    fn drive_sends<M: Mem>(&mut self, m: &mut M, sched: &mut dyn Scheduler, path: Path, n: usize) {
+    #[allow(clippy::too_many_arguments)]
+    fn drive_sends<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        sched: &mut dyn Scheduler,
+        path: Path,
+        n: usize,
+        now: u64,
+        obs: &mut O,
+        st: &mut ObsState,
+    ) {
         let mut burst = 0usize;
+        let mut first_pick = true;
         loop {
             let ready: Vec<ConnId> = self
                 .table
@@ -396,21 +503,49 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
                             .is_some_and(|(meta, _)| s.tx.can_send(meta.padded_len(C::UNIT)))
                 })
                 .collect();
+            if O::ENABLED && first_pick {
+                // One depth sample per round, before the scheduler eats
+                // into the ready set.
+                obs.sample(Metric::ReadyQueueDepth, ready.len() as u64);
+                first_pick = false;
+            }
             let Some(id) = sched.pick(&ready) else { break };
             let sess = self.table.get_mut(id);
             let (meta, addr) = sess.next_meta().expect("ready implies work");
             let outcome = match path {
-                Path::Ilp => {
-                    send_chunk_ilp(&self.scratch, self.cipher, m, &mut sess.tx, &mut self.lb, &meta, addr)
-                }
-                Path::NonIlp => {
-                    send_chunk_non_ilp(&self.scratch, &self.cipher, m, &mut sess.tx, &mut self.lb, &meta, addr)
-                }
+                Path::Ilp => send_chunk_ilp_obs(
+                    &self.scratch,
+                    self.cipher,
+                    m,
+                    &mut sess.tx,
+                    &mut self.lb,
+                    &meta,
+                    addr,
+                    obs,
+                ),
+                Path::NonIlp => send_chunk_non_ilp_obs(
+                    &self.scratch,
+                    &self.cipher,
+                    m,
+                    &mut sess.tx,
+                    &mut self.lb,
+                    &meta,
+                    addr,
+                    obs,
+                ),
             };
             match outcome {
                 Ok(padded) => {
                     sess.next_chunk += 1;
                     sched.charge(id, padded);
+                    if O::ENABLED {
+                        obs.count(Counter::ChunksSent, 1);
+                        obs.event(EventKind::ChunkSent, id.index() as u32, u64::from(meta.seq));
+                        let slot = &mut st.send_tick[id.index()][meta.seq as usize];
+                        if *slot == u64::MAX {
+                            *slot = now;
+                        }
+                    }
                 }
                 // can_send is conservative about ring wrap; treat a raced
                 // refusal as "not ready this round".
@@ -425,35 +560,86 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
     }
 
     /// Step 3: every client drains its data endpoint.
-    fn drive_receives<M: Mem>(&mut self, m: &mut M, path: Path, n: usize) {
+    fn drive_receives<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        path: Path,
+        n: usize,
+        now: u64,
+        obs: &mut O,
+        st: &ObsState,
+    ) {
         for i in 0..n {
             if !self.clients[i].established {
                 continue;
             }
+            if O::ENABLED {
+                let depth = self.lb.pending(self.clients[i].rx.endpoint());
+                obs.sample(Metric::KernelQueueDepth, depth as u64);
+            }
             loop {
                 let c = &mut self.clients[i];
                 let outcome = match path {
-                    Path::Ilp => {
-                        recv_chunk_ilp(&self.scratch, self.cipher, m, &mut c.rx, &mut self.lb, c.app_out)
-                    }
-                    Path::NonIlp => {
-                        recv_chunk_non_ilp(&self.scratch, &self.cipher, m, &mut c.rx, &mut self.lb, c.app_out)
-                    }
+                    Path::Ilp => recv_chunk_ilp_obs(
+                        &self.scratch,
+                        self.cipher,
+                        m,
+                        &mut c.rx,
+                        &mut self.lb,
+                        c.app_out,
+                        obs,
+                    ),
+                    Path::NonIlp => recv_chunk_non_ilp_obs(
+                        &self.scratch,
+                        &self.cipher,
+                        m,
+                        &mut c.rx,
+                        &mut self.lb,
+                        c.app_out,
+                        obs,
+                    ),
                 };
                 match outcome {
                     None => break,
                     Some(Ok(meta)) => {
                         c.bytes += u64::from(meta.data_len);
                         c.chunks += 1;
+                        if O::ENABLED {
+                            obs.count(Counter::ChunksDelivered, 1);
+                            obs.sample(Metric::ChunkBytes, u64::from(meta.data_len));
+                            let sent = st
+                                .send_tick
+                                .get(i)
+                                .and_then(|v| v.get(meta.seq as usize))
+                                .copied()
+                                .unwrap_or(u64::MAX);
+                            if sent != u64::MAX {
+                                obs.sample(Metric::ChunkLatencyTicks, now.saturating_sub(sent));
+                            }
+                            obs.event(EventKind::ChunkAccepted, i as u32, u64::from(meta.seq));
+                        }
                     }
-                    Some(Err(_)) => c.rejected += 1,
+                    Some(Err(ref r)) => {
+                        c.rejected += 1;
+                        if O::ENABLED {
+                            obs.count(reject_counter(r), 1);
+                            obs.event(EventKind::ChunkRejected, i as u32, 0);
+                        }
+                    }
                 }
             }
         }
     }
 
     /// Step 4: completion bookkeeping, ACK drain, timers, snapshot.
-    fn settle_round<M: Mem>(&mut self, m: &mut M, now: u64, n: usize) {
+    fn settle_round<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        now: u64,
+        n: usize,
+        path: Path,
+        obs: &mut O,
+    ) {
         for i in 0..n {
             let id = ConnId(i as u32);
             let chunks_total = self.table.get(id).chunks_total() as u64;
@@ -463,14 +649,27 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
                 sess.stats.completed_at = now;
             }
         }
-        for sess in self.table.iter_mut() {
-            while sess.tx.poll_input(m, &mut self.lb).is_some() {}
-            sess.tx.tick(m, &mut self.lb);
+        let pl = path_label(path);
+        for (i, sess) in self.table.iter_mut().enumerate() {
+            let retrans_before = if O::ENABLED { sess.tx.stats.retransmits } else { 0 };
+            while sess.tx.poll_input_obs(m, &mut self.lb, obs, pl).is_some() {}
+            sess.tx.tick_obs(m, &mut self.lb, obs, pl);
+            if O::ENABLED {
+                let delta = sess.tx.stats.retransmits - retrans_before;
+                if delta > 0 {
+                    obs.count(Counter::Retransmits, delta);
+                    obs.event(EventKind::Retransmit, i as u32, delta);
+                }
+            }
             if sess.stats.completed_at != 0
                 && sess.tx.in_flight() == 0
                 && sess.state == SessionState::Established
             {
                 sess.state = SessionState::Done;
+                if O::ENABLED {
+                    let took = now.saturating_sub(sess.stats.established_at);
+                    obs.event(EventKind::Completed, i as u32, took);
+                }
             }
         }
         if self.snapshot.is_none() && self.table.iter().any(|s| s.stats.completed_at != 0) {

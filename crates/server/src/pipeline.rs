@@ -16,9 +16,10 @@
 use checksum::internet::checksum_buf;
 use cipher::CipherKernel;
 use ilp_core::{
-    ilp_run, three_stage, ChecksumTap, DecryptStage, EncryptStage, Fused, Ordering, Reject,
-    SegmentPlan,
+    ilp_run, three_stage_observed, ChecksumTap, DecryptStage, EncryptStage, Fused, Ordering,
+    Reject, SegmentPlan,
 };
+use obs::{Layer, NoopObserver, PathLabel, SpanObserver, Stage, Work};
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
@@ -125,11 +126,49 @@ pub fn send_chunk_non_ilp<C: CipherKernel, M: Mem>(
     meta: &ReplyMeta,
     data_addr: usize,
 ) -> Result<usize, SendError> {
+    send_chunk_non_ilp_obs(s, cipher, m, tx, lb, meta, data_addr, &mut NoopObserver)
+}
+
+/// [`send_chunk_non_ilp`] with span attribution: each separate pass
+/// reports under its own layer (marshal, cipher, then the connection's
+/// copy/checksum/output spans via [`Connection::send_buf_obs`]), all in
+/// the integrated-stage position of the non-ILP path.
+///
+/// # Errors
+/// Propagates transport back-pressure.
+#[allow(clippy::too_many_arguments)]
+pub fn send_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
+    s: &Scratch,
+    cipher: &C,
+    m: &mut M,
+    tx: &mut Connection,
+    lb: &mut Loopback,
+    meta: &ReplyMeta,
+    data_addr: usize,
+    obs: &mut O,
+) -> Result<usize, SendError> {
+    const PATH: PathLabel = PathLabel::NonIlp;
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     let padded = marshal_pass::<C, M>(s, m, meta, data_addr);
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Marshal, Work::delta(before, m.work_counters()));
+    }
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     cipher::encrypt_buf(cipher, m, s.marshal_buf.base, s.encrypt_buf.base, padded);
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Cipher, Work::delta(before, m.work_counters()));
+    }
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     m.fetch(s.code_copy);
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Tcp, Work::delta(before, m.work_counters()));
+    }
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     m.fetch(s.code_checksum);
-    tx.send_buf(m, lb, s.encrypt_buf.base, padded)?;
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Checksum, Work::delta(before, m.work_counters()));
+    }
+    tx.send_buf_obs(m, lb, s.encrypt_buf.base, padded, obs, PATH)?;
     Ok(padded)
 }
 
@@ -148,6 +187,29 @@ pub fn send_chunk_ilp<C: CipherKernel + Copy, M: Mem>(
     meta: &ReplyMeta,
     data_addr: usize,
 ) -> Result<usize, SendError> {
+    send_chunk_ilp_obs(s, cipher, m, tx, lb, meta, data_addr, &mut NoopObserver)
+}
+
+/// [`send_chunk_ilp`] with span attribution: segmentation planning and
+/// ring reservation report as initial-stage work, the fused loop as the
+/// integrated stage (one span — the layers are inseparable by
+/// construction), and the commit as the final stage.
+///
+/// # Errors
+/// Propagates transport back-pressure.
+#[allow(clippy::too_many_arguments)]
+pub fn send_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
+    s: &Scratch,
+    cipher: C,
+    m: &mut M,
+    tx: &mut Connection,
+    lb: &mut Loopback,
+    meta: &ReplyMeta,
+    data_addr: usize,
+    obs: &mut O,
+) -> Result<usize, SendError> {
+    const PATH: PathLabel = PathLabel::Ilp;
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     let padded = meta.padded_len(C::UNIT);
     let plan = SegmentPlan::for_message(
         ENC_HDR_LEN,
@@ -157,6 +219,10 @@ pub fn send_chunk_ilp<C: CipherKernel + Copy, M: Mem>(
     )
     .expect("block cipher stack is fusible");
     let (extent, _writer0) = tx.begin_ilp_send(padded)?;
+    if O::ENABLED {
+        obs.span(PATH, Stage::Initial, Layer::Tcp, Work::delta(before, m.work_counters()));
+    }
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     let words = ReplyWords::new(meta, data_addr, C::UNIT);
     let mut stages = Fused::new(EncryptStage::new(cipher), ChecksumTap::new());
     for part in plan.processing_order() {
@@ -168,7 +234,10 @@ pub fn send_chunk_ilp<C: CipherKernel + Copy, M: Mem>(
         ilp_run(m, &mut source, &mut stages, &mut sink, 1, Some(s.code_ilp_send))
             .expect("negotiated unit fits registers");
     }
-    tx.commit_send(m, lb, extent, stages.b.sum());
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Fused, Work::delta(before, m.work_counters()));
+    }
+    tx.commit_send_obs(m, lb, extent, stages.b.sum(), obs, PATH);
     Ok(padded)
 }
 
@@ -182,14 +251,44 @@ pub fn recv_chunk_non_ilp<C: CipherKernel, M: Mem>(
     lb: &mut Loopback,
     app_out: Region,
 ) -> Option<Result<ReplyMeta, Reject>> {
-    let d = rx.poll_input(m, lb)?;
+    recv_chunk_non_ilp_obs(s, cipher, m, rx, lb, app_out, &mut NoopObserver)
+}
+
+/// [`recv_chunk_non_ilp`] with span attribution: the poll reports as
+/// the initial stage, each separate pass (checksum, cipher, unmarshal)
+/// under its own layer in the integrated-stage position, and the
+/// accept/reject verdict as the final stage.
+pub fn recv_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
+    s: &Scratch,
+    cipher: &C,
+    m: &mut M,
+    rx: &mut Connection,
+    lb: &mut Loopback,
+    app_out: Region,
+    obs: &mut O,
+) -> Option<Result<ReplyMeta, Reject>> {
+    const PATH: PathLabel = PathLabel::NonIlp;
+    let d = rx.poll_input_obs(m, lb, obs, PATH)?;
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     m.fetch(s.code_checksum);
     let payload_sum = checksum_buf(m, d.payload_addr, d.payload_len);
-    if let Err(e) = rx.finish_recv(m, lb, &d, payload_sum) {
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Checksum, Work::delta(before, m.work_counters()));
+    }
+    if let Err(e) = rx.finish_recv_obs(m, lb, &d, payload_sum, obs, PATH) {
         return Some(Err(e));
     }
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     cipher::decrypt_buf(cipher, m, d.payload_addr, s.decrypt_buf.base, d.payload_len);
-    Some(unmarshal_pass(s, m, d.payload_len, app_out))
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Cipher, Work::delta(before, m.work_counters()));
+    }
+    let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
+    let out = unmarshal_pass(s, m, d.payload_len, app_out);
+    if O::ENABLED {
+        obs.span(PATH, Stage::Integrated, Layer::Marshal, Work::delta(before, m.work_counters()));
+    }
+    Some(out)
 }
 
 /// Non-ILP unmarshal+copy pass: parse the decrypted message and copy
@@ -246,10 +345,30 @@ pub fn recv_chunk_ilp<C: CipherKernel + Copy, M: Mem>(
     lb: &mut Loopback,
     app_out: Region,
 ) -> Option<Result<ReplyMeta, Reject>> {
-    let d = rx.poll_input(m, lb)?;
+    recv_chunk_ilp_obs(s, cipher, m, rx, lb, app_out, &mut NoopObserver)
+}
+
+/// [`recv_chunk_ilp`] with span attribution: the poll reports as the
+/// initial stage, and the [`three_stage_observed`] combinator brackets
+/// the fused loop (integrated stage, one inseparable span) and the
+/// verdict (final stage).
+pub fn recv_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
+    s: &Scratch,
+    cipher: C,
+    m: &mut M,
+    rx: &mut Connection,
+    lb: &mut Loopback,
+    app_out: Region,
+    obs: &mut O,
+) -> Option<Result<ReplyMeta, Reject>> {
+    const PATH: PathLabel = PathLabel::Ilp;
+    let d = rx.poll_input_obs(m, lb, obs, PATH)?;
     let code = s.code_ilp_recv;
-    let verdict = three_stage(
+    let verdict = three_stage_observed(
         m,
+        obs,
+        PATH,
+        [Layer::Tcp, Layer::Fused, Layer::Tcp],
         |_m| Ok(d),
         |m, d| {
             let mut stages = Fused::new(ChecksumTap::new(), DecryptStage::new(cipher));

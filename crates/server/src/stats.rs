@@ -19,11 +19,15 @@ pub struct PerConnStats {
 
 impl PerConnStats {
     /// Transfer duration in virtual ticks (at least 1 once complete).
+    ///
+    /// Saturates: a `completed_at` stamped before `established_at`
+    /// (possible when a retried SYN re-stamps establishment after the
+    /// data already flowed) yields 1, never a wrapped huge value.
     pub fn duration_ticks(&self) -> u64 {
         if self.completed_at == 0 {
             0
         } else {
-            (self.completed_at - self.established_at).max(1)
+            self.completed_at.saturating_sub(self.established_at).max(1)
         }
     }
 }
@@ -34,12 +38,16 @@ impl PerConnStats {
 /// connection got everything. Shares of a weighted run should be
 /// normalised by weight before calling, so that a perfectly weighted
 /// schedule also scores 1.0.
+/// Non-finite or negative shares (a NaN from a zero-weight division, a
+/// negative from upstream subtraction bugs) are clamped to 0 rather
+/// than poisoning the index.
 pub fn jain_fairness(shares: &[f64]) -> f64 {
     if shares.is_empty() {
         return 1.0;
     }
-    let sum: f64 = shares.iter().sum();
-    let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    let clean = shares.iter().map(|&x| if x.is_finite() && x > 0.0 { x } else { 0.0 });
+    let sum: f64 = clean.clone().sum();
+    let sum_sq: f64 = clean.map(|x| x * x).sum();
     if sum_sq == 0.0 {
         return 1.0;
     }
@@ -66,6 +74,20 @@ mod tests {
     fn degenerate_inputs() {
         assert_eq!(jain_fairness(&[]), 1.0);
         assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn hostile_inputs_are_clamped() {
+        assert_eq!(jain_fairness(&[f64::NAN, f64::NAN]), 1.0);
+        let idx = jain_fairness(&[5.0, f64::NAN, -3.0, f64::INFINITY]);
+        assert!((idx - 0.25).abs() < 1e-12, "bad shares count as zero: {idx}");
+        assert!((jain_fairness(&[-1.0, -1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_saturates_on_late_establishment() {
+        let s = PerConnStats { established_at: 20, completed_at: 9, ..Default::default() };
+        assert_eq!(s.duration_ticks(), 1);
     }
 
     #[test]

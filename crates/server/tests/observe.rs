@@ -1,0 +1,120 @@
+//! Observer integration: the ILP and non-ILP paths produce identical
+//! wire bytes, so the same fault plan must corrupt the same datagrams
+//! and both paths must report identical reject counts — and attaching a
+//! recorder must not perturb the run at all.
+
+use memsim::layout::AddressSpace;
+use memsim::NativeMem;
+use obs::{Counter, EventKind, Metric, Recorder};
+use server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
+use utcp::FaultPlan;
+
+fn faulty_cfg() -> ServerConfig {
+    ServerConfig {
+        n_conns: 4,
+        file_len: 6 * 1024,
+        chunk: 1024,
+        faults: FaultPlan { drop_every: 11, corrupt_every: 7, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn run_observed(path: Path) -> (server::AggregateReport, Recorder) {
+    let mut space = AddressSpace::new();
+    let mut h = ScaleHarness::simplified(&mut space, faulty_cfg());
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut rec = Recorder::new(1024);
+    let mut sched = RoundRobin::new();
+    let report = h.run_observed(&mut m, &mut sched, path, &mut rec);
+    assert_eq!(h.verify_outputs(&mut m), None, "{path:?}: delivered data corrupted");
+    (report, rec)
+}
+
+#[test]
+fn both_paths_report_identical_reject_counts_under_faults() {
+    let (rep_ilp, rec_ilp) = run_observed(Path::Ilp);
+    let (rep_non, rec_non) = run_observed(Path::NonIlp);
+
+    // The two paths marshal/encrypt/checksum to identical wire bytes, so
+    // deterministic fault injection must bite identically.
+    for c in [
+        Counter::RejectChecksum,
+        Counter::RejectOutOfOrder,
+        Counter::RejectBadFormat,
+        Counter::RejectNoConnection,
+        Counter::FaultDrops,
+        Counter::FaultCorruptions,
+        Counter::ChunksDelivered,
+        Counter::Retransmits,
+    ] {
+        assert_eq!(
+            rec_ilp.counter(c),
+            rec_non.counter(c),
+            "{} differs between paths",
+            c.name()
+        );
+    }
+    assert!(rec_ilp.counter(Counter::RejectChecksum) > 0, "corruption plan never fired");
+    assert_eq!(rep_ilp.rejected, rep_non.rejected);
+    assert_eq!(rep_ilp.payload_bytes, rep_non.payload_bytes);
+
+    // Recorder counters must agree with the harness's own accounting.
+    assert_eq!(rec_ilp.counter(Counter::Retransmits), rep_ilp.retransmits);
+    assert_eq!(
+        rec_ilp.counter(Counter::RejectChecksum)
+            + rec_ilp.counter(Counter::RejectOutOfOrder)
+            + rec_ilp.counter(Counter::RejectBadFormat)
+            + rec_ilp.counter(Counter::RejectNoConnection),
+        rep_ilp.rejected
+    );
+    assert_eq!(rec_ilp.counter(Counter::FaultCorruptions), rep_ilp.corrupted);
+}
+
+#[test]
+fn observed_run_matches_unobserved_run() {
+    let (observed, _) = run_observed(Path::Ilp);
+
+    let mut space = AddressSpace::new();
+    let mut h = ScaleHarness::simplified(&mut space, faulty_cfg());
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut sched = RoundRobin::new();
+    let plain = h.run(&mut m, &mut sched, Path::Ilp);
+
+    assert_eq!(observed.payload_bytes, plain.payload_bytes);
+    assert_eq!(observed.rounds, plain.rounds, "observation must not change scheduling");
+    assert_eq!(observed.retransmits, plain.retransmits);
+    assert_eq!(observed.rejected, plain.rejected);
+}
+
+#[test]
+fn recorder_captures_latency_and_trace() {
+    let (report, rec) = run_observed(Path::Ilp);
+
+    let lat = rec.hist(Metric::ChunkLatencyTicks);
+    let delivered: u64 = report.per_conn.iter().map(|p| p.chunks).sum();
+    assert_eq!(lat.count(), delivered, "one latency sample per delivered chunk");
+    assert!(lat.p50() <= lat.p90() && lat.p90() <= lat.p99(), "percentiles must be monotone");
+    // Drops force retransmission, so some chunk needed at least one
+    // retry timeout before acceptance.
+    assert!(lat.max().unwrap_or(0) > 0, "faults should stretch the latency tail");
+
+    assert_eq!(rec.hist(Metric::HandshakeTicks).count(), 4, "one sample per connection");
+    assert!(rec.counter(Counter::Handshakes) == 4);
+
+    let trace = rec.trace();
+    assert!(!trace.is_empty());
+    let mut per_kind = [0u64; EventKind::ALL.len()];
+    let mut last_tick = 0;
+    for ev in trace.iter() {
+        assert!(ev.tick >= last_tick, "trace must be time-ordered");
+        last_tick = ev.tick;
+        per_kind[ev.kind.index()] += 1;
+        assert!((ev.conn as usize) < 4);
+    }
+    assert!(per_kind[EventKind::ChunkAccepted.index()] > 0);
+    assert!(per_kind[EventKind::Completed.index()] == 4 || trace.overwritten() > 0);
+}

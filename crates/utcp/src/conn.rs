@@ -31,6 +31,7 @@ use ilp_core::Reject;
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
+use obs::{Layer, NoopObserver, PathLabel, SpanObserver, Stage, Work};
 
 use crate::ip::{Ipv4Header, IP_HEADER_LEN, PROTO_TCP};
 use crate::kernelpart::{EndpointId, Loopback};
@@ -362,9 +363,31 @@ impl Connection {
         src: usize,
         len: usize,
     ) -> Result<(), SendError> {
+        self.send_buf_obs(m, lb, src, len, &mut NoopObserver, PathLabel::NonIlp)
+    }
+
+    /// [`Connection::send_buf`] with span attribution: the `tcp_send`
+    /// ring copy reports as integrated-stage TCP work, then
+    /// `tcp_output` reports through [`Connection::output_obs`].
+    ///
+    /// # Errors
+    /// Same refusals as [`Connection::send_buf`].
+    pub fn send_buf_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut Loopback,
+        src: usize,
+        len: usize,
+        obs: &mut O,
+        path: PathLabel,
+    ) -> Result<(), SendError> {
         let extent = self.reserve(len)?;
+        let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
         m.copy(src, self.ring.addr(extent.off), len); // tcp_send
-        self.output(m, lb, extent, None);
+        if O::ENABLED {
+            obs.span(path, Stage::Integrated, Layer::Tcp, Work::delta(before, m.work_counters()));
+        }
+        self.output_obs(m, lb, extent, None, obs, path);
         Ok(())
     }
 
@@ -393,6 +416,20 @@ impl Connection {
         self.output(m, lb, extent, Some(payload_sum));
     }
 
+    /// [`Connection::commit_send`] with span attribution (see
+    /// [`Connection::output_obs`]).
+    pub fn commit_send_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut Loopback,
+        extent: Extent,
+        payload_sum: InetChecksum,
+        obs: &mut O,
+        path: PathLabel,
+    ) {
+        self.output_obs(m, lb, extent, Some(payload_sum), obs, path);
+    }
+
     /// `tcp_output`: complete the header (checksumming the ring data only
     /// when no precomputed sum exists), update the TCB, system-copy into
     /// the kernel part.
@@ -403,9 +440,38 @@ impl Connection {
         extent: Extent,
         payload_sum: Option<InetChecksum>,
     ) {
+        self.output_obs(m, lb, extent, payload_sum, &mut NoopObserver, PathLabel::NonIlp);
+    }
+
+    /// `tcp_output` with span attribution: the separate checksum read
+    /// pass (non-ILP only) reports as integrated-stage checksum work;
+    /// header build, TCB update and the kernel hand-off report as
+    /// final-stage TCP work, with the kernel part's system copy landing
+    /// in the kernel layer via the system counter.
+    fn output_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut Loopback,
+        extent: Extent,
+        payload_sum: Option<InetChecksum>,
+        obs: &mut O,
+        path: PathLabel,
+    ) {
         let data_addr = self.ring.addr(extent.off);
-        let payload_sum = payload_sum
-            .unwrap_or_else(|| checksum_buf(m, data_addr, extent.len)); // step 4, non-ILP only
+        let payload_sum = payload_sum.unwrap_or_else(|| {
+            let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
+            let sum = checksum_buf(m, data_addr, extent.len); // step 4, non-ILP only
+            if O::ENABLED {
+                obs.span(
+                    path,
+                    Stage::Integrated,
+                    Layer::Checksum,
+                    Work::delta(before, m.work_counters()),
+                );
+            }
+            sum
+        });
+        let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
         let hdr = TcpHeader::at(self.hdr.base);
         hdr.build(
             m,
@@ -444,11 +510,27 @@ impl Connection {
             data_addr,
             extent.len,
         ); // step 5
+        if O::ENABLED {
+            obs.span(path, Stage::Final, Layer::Tcp, Work::delta(before, m.work_counters()));
+        }
     }
 
     /// Advance the clock; retransmit the oldest unacknowledged segment on
     /// RTO expiry.
     pub fn tick<M: Mem>(&mut self, m: &mut M, lb: &mut Loopback) {
+        self.tick_obs(m, lb, &mut NoopObserver, PathLabel::NonIlp);
+    }
+
+    /// [`Connection::tick`] with span attribution: a retransmission's
+    /// `tcp_output` reports through [`Connection::output_obs`] like any
+    /// other send.
+    pub fn tick_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut Loopback,
+        obs: &mut O,
+        path: PathLabel,
+    ) {
         self.ticks += 1;
         if self.in_flight() == 0 {
             self.last_progress = self.ticks;
@@ -464,7 +546,7 @@ impl Connection {
                     self.cwnd = mss;
                 }
                 self.rto = (self.rto * 2).min(16 * self.cfg.rto_ticks); // exponential back-off
-                self.output(m, lb, oldest, None);
+                self.output_obs(m, lb, oldest, None, obs, path);
             }
         }
     }
@@ -479,6 +561,29 @@ impl Connection {
     /// copy + the *initial* control operations (demux happened in the
     /// kernel part; header parsing happens here).
     pub fn poll_input<M: Mem>(&mut self, m: &mut M, lb: &mut Loopback) -> Option<Delivered> {
+        self.poll_input_obs(m, lb, &mut NoopObserver, PathLabel::NonIlp)
+    }
+
+    /// [`Connection::poll_input`] with span attribution: the whole poll
+    /// — kernel IP validation, the system copy into staging (attributed
+    /// to the kernel layer via the system counter), header parse and
+    /// internal ACK processing — reports as initial-stage TCP work.
+    pub fn poll_input_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut Loopback,
+        obs: &mut O,
+        path: PathLabel,
+    ) -> Option<Delivered> {
+        let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
+        let out = self.poll_input_inner(m, lb);
+        if O::ENABLED {
+            obs.span(path, Stage::Initial, Layer::Tcp, Work::delta(before, m.work_counters()));
+        }
+        out
+    }
+
+    fn poll_input_inner<M: Mem>(&mut self, m: &mut M, lb: &mut Loopback) -> Option<Delivered> {
         loop {
             let datagram = lb.recv(self.endpoint)?;
             // Kernel: IP validation + demultiplexing, then the system
@@ -542,6 +647,38 @@ impl Connection {
     /// back later on") — except that a duplicate/out-of-order segment
     /// still triggers a (repeat) ACK so the sender can make progress.
     pub fn finish_recv<M: Mem>(
+        &mut self,
+        m: &mut M,
+        lb: &mut Loopback,
+        d: &Delivered,
+        payload_sum: InetChecksum,
+    ) -> Result<(), Reject> {
+        self.finish_recv_obs(m, lb, d, payload_sum, &mut NoopObserver, PathLabel::NonIlp)
+    }
+
+    /// [`Connection::finish_recv`] with span attribution: the verdict,
+    /// TCB update and ACK emission report as final-stage TCP work.
+    ///
+    /// # Errors
+    /// Same rejects as [`Connection::finish_recv`].
+    pub fn finish_recv_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut Loopback,
+        d: &Delivered,
+        payload_sum: InetChecksum,
+        obs: &mut O,
+        path: PathLabel,
+    ) -> Result<(), Reject> {
+        let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
+        let out = self.finish_recv_inner(m, lb, d, payload_sum);
+        if O::ENABLED {
+            obs.span(path, Stage::Final, Layer::Tcp, Work::delta(before, m.work_counters()));
+        }
+        out
+    }
+
+    fn finish_recv_inner<M: Mem>(
         &mut self,
         m: &mut M,
         lb: &mut Loopback,

@@ -86,6 +86,9 @@ pub struct Loopback {
     pub corrupted: u64,
     /// Datagrams that arrived for a port nobody listens on.
     pub unroutable: u64,
+    /// High-water mark of any single endpoint's queue depth — how far
+    /// behind the slowest receiver fell. Updated O(1) on every enqueue.
+    pub max_queue: usize,
     /// Port → endpoint index. With two endpoints (the paper's loop-back
     /// pair) a linear scan is fine; a server multiplexing hundreds of
     /// connections demultiplexes thousands of datagrams per transfer,
@@ -137,6 +140,7 @@ impl Loopback {
             dropped: 0,
             corrupted: 0,
             unroutable: 0,
+            max_queue: 0,
             by_port: HashMap::new(),
         }
     }
@@ -241,6 +245,7 @@ impl Loopback {
                 endpoint.queue.swap(qlen - 1, qlen - 2);
             }
         }
+        self.max_queue = self.max_queue.max(endpoint.queue.len());
     }
 
     /// Dequeue the next datagram for an endpoint, if any.

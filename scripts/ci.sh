@@ -14,4 +14,13 @@ cargo test -q --offline
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "== observability: run the observed server and schema-check its report =="
+cargo run -q --release --offline --example observe
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_observe.json \
+    experiment:str conns:num file_len:num \
+    ilp:obj ilp.counters:obj ilp.counters.chunks_delivered:num \
+    ilp.metrics.chunk_latency_ticks.p50:num ilp.metrics.chunk_latency_ticks.p99:num \
+    ilp.work:obj ilp.trace.events:arr ilp.trace.events.0.tick:num \
+    non_ilp.counters.reject_checksum:num
+
 echo "CI green."

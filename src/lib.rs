@@ -23,6 +23,9 @@
 //! * [`server`] — the event-driven multi-connection file-transfer
 //!   server: connection table, SYN/SYN-ACK acceptor, pluggable send
 //!   schedulers, and the N-connection scale harness.
+//! * [`obs`] — cross-layer tracing and metrics: per-stage/per-layer
+//!   work spans, log₂ latency histograms, virtual-clock event traces,
+//!   Prometheus-style text dumps and JSON run reports.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results of every table and
@@ -32,6 +35,7 @@ pub use checksum;
 pub use cipher;
 pub use ilp_core as ilp;
 pub use memsim;
+pub use obs;
 pub use rpcapp;
 pub use server;
 pub use utcp;
