@@ -247,6 +247,30 @@ mod tests {
     }
 
     #[test]
+    fn odd_length_parts_break_combining() {
+        // Why `combine` demands even byte counts at even offsets: an
+        // odd-length part checksummed on its own pads its trailing byte
+        // with a zero *low* byte (RFC 1071), but in the whole message
+        // that byte is the *high* half of a 16-bit pair with the next
+        // part's first byte. Splitting at an odd offset therefore breaks
+        // the pairing and the combined sum silently diverges — which is
+        // what the `debug_assert!`s in the fused B→C→A senders guard
+        // against. The even split of the same bytes agrees exactly.
+        let bytes: Vec<u8> = (0..20).map(|i| (i * 29 + 5) as u8).collect();
+        with_buf(&bytes, |m, addr| {
+            let whole = checksum_buf(m, addr, 20).finish();
+            let mut odd = InetChecksum::new();
+            odd.combine(checksum_buf(m, addr, 7));
+            odd.combine(checksum_buf(m, addr + 7, 13));
+            assert_ne!(odd.finish(), whole, "odd-offset split must not reassociate");
+            let mut even = InetChecksum::new();
+            even.combine(checksum_buf(m, addr, 8));
+            even.combine(checksum_buf(m, addr + 8, 12));
+            assert_eq!(even.finish(), whole, "even split combines exactly");
+        });
+    }
+
+    #[test]
     fn pseudo_header_contribution() {
         let ph = PseudoHeader { src: 0x0A000001, dst: 0x0A000002, protocol: 6, tcp_len: 1044 };
         let mut s = InetChecksum::new();

@@ -212,6 +212,34 @@ mod tests {
     }
 
     #[test]
+    fn parts_are_even_aligned_for_checksum_combining() {
+        // The fused senders merge per-part checksum taps with
+        // `InetChecksum::combine`, which only reassociates over even byte
+        // counts at even offsets. Every part a plan can emit must honour
+        // that: boundaries are multiples of the block, and a block is a
+        // positive multiple of 4.
+        for block in [4usize, 8, 12, 16, 64] {
+            for header in 0..=block {
+                for marshalled in [0usize, 1, 3, 7, 13, 100, 1017] {
+                    let p = SegmentPlan::for_message(
+                        header,
+                        marshalled,
+                        block,
+                        Ordering::Unconstrained,
+                    )
+                    .unwrap();
+                    for part in p.processing_order() {
+                        assert!(
+                            part.start % 2 == 0 && part.len() % 2 == 0,
+                            "block {block} header {header} marshalled {marshalled}: {part:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn alignment_bytes_computed() {
         // 4 + 13 = 17 → padded 24, 7 alignment bytes.
         let p = plan(13);

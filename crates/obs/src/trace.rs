@@ -84,6 +84,20 @@ impl TraceRing {
         let (tail, head) = self.buf.split_at(self.head);
         head.iter().chain(tail.iter())
     }
+
+    /// Fold another ring into this one: `other`'s retained events are
+    /// appended oldest-first (overwriting our oldest on overflow, as any
+    /// push does), and its overwritten count is carried over so
+    /// [`TraceRing::total_pushed`] / [`TraceRing::overwritten`] stay
+    /// honest across the merge. Merging a ring into a fresh one of the
+    /// same capacity reproduces it exactly — the property the sharded
+    /// server's report merge relies on.
+    pub fn merge_from(&mut self, other: &TraceRing) {
+        for ev in other.iter() {
+            self.push(*ev);
+        }
+        self.pushed += other.overwritten();
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +151,40 @@ mod tests {
         r.push(ev(2));
         assert_eq!(r.len(), 1);
         assert_eq!(r.iter().next().unwrap().tick, 2);
+    }
+
+    #[test]
+    fn merge_into_fresh_ring_reproduces_the_original() {
+        for pushes in [0usize, 2, 4, 9] {
+            let mut orig = TraceRing::new(4);
+            for t in 0..pushes as u64 {
+                orig.push(ev(t));
+            }
+            let mut merged = TraceRing::new(4);
+            merged.merge_from(&orig);
+            assert_eq!(merged.total_pushed(), orig.total_pushed(), "pushes {pushes}");
+            assert_eq!(merged.overwritten(), orig.overwritten(), "pushes {pushes}");
+            let a: Vec<u64> = orig.iter().map(|e| e.tick).collect();
+            let b: Vec<u64> = merged.iter().map(|e| e.tick).collect();
+            assert_eq!(a, b, "pushes {pushes}");
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_and_accounts_drops() {
+        let mut a = TraceRing::new(3);
+        for t in 0..5 {
+            a.push(ev(t)); // retains 2,3,4; 2 overwritten
+        }
+        let mut b = TraceRing::new(3);
+        b.push(ev(10));
+        b.push(ev(11));
+        b.merge_from(&a);
+        // b pushed 2 + 3 retained from a; ring keeps the newest 3.
+        let ticks: Vec<u64> = b.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [2, 3, 4]);
+        assert_eq!(b.total_pushed(), 2 + 5, "a's overwritten events still count");
+        assert_eq!(b.overwritten(), 4);
     }
 
     #[test]

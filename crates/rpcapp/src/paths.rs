@@ -129,6 +129,16 @@ pub fn send_reply_ilp<C: CipherKernel + Copy, M: Mem>(
         if part.is_empty() {
             continue;
         }
+        // The part taps merge via InetChecksum::combine, which requires
+        // even byte counts at even offsets; SegmentPlan's block-aligned
+        // parts (block % 4 == 0) guarantee it, and a future odd-sized
+        // part C would otherwise corrupt the patched header checksum.
+        debug_assert!(
+            part.start % 2 == 0 && part.len() % 2 == 0,
+            "combine precondition: part [{}, {}) must be even-aligned",
+            part.start,
+            part.end
+        );
         let mut source = words.range_source(part.start / 4, part.end / 4);
         let mut sink = s.tx.ring_writer_at(extent, part.start);
         ilp_run(m, &mut source, &mut stages, &mut sink, 1, Some(s.code_ilp_send))
@@ -169,6 +179,15 @@ pub fn send_reply_ilp_staged<C: CipherKernel + Copy, M: Mem>(
         if part.is_empty() {
             continue;
         }
+        // Same combine precondition as the direct ILP send: parts must
+        // cover even byte counts at even offsets for the checksum taps
+        // to reassociate.
+        debug_assert!(
+            part.start % 2 == 0 && part.len() % 2 == 0,
+            "combine precondition: part [{}, {}) must be even-aligned",
+            part.start,
+            part.end
+        );
         let mut source = words.range_source(part.start / 4, part.end / 4);
         let mut sink = LinearSink::new(s.staging.base + part.start);
         ilp_run(m, &mut source, &mut stages, &mut sink, 1, Some(s.code_ilp_send))

@@ -121,6 +121,13 @@ pub fn file_pattern(conn: usize, j: usize) -> u8 {
 pub struct ServerConfig {
     /// Number of concurrent connections.
     pub n_conns: usize,
+    /// Global index of this harness's first connection. Ports, client
+    /// IPs, initial sequence numbers, and file patterns are all derived
+    /// from `conn_base + i`, so several harnesses (the shards of a
+    /// sharded server, see [`crate::shard`]) can serve disjoint slices
+    /// of one logical connection space without colliding. `conn_base 0`
+    /// is the plain single-harness world.
+    pub conn_base: usize,
     /// File length per connection, bytes.
     pub file_len: usize,
     /// Maximum payload bytes per reply chunk.
@@ -138,6 +145,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             n_conns: 4,
+            conn_base: 0,
             file_len: 4096,
             chunk: 1024,
             weights: Vec::new(),
@@ -228,7 +236,12 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
     /// Assemble the world around an already-allocated cipher.
     pub fn with_cipher(space: &mut AddressSpace, cipher: C, cfg: ServerConfig) -> Self {
         assert!(cfg.n_conns >= 1, "a server needs at least one connection");
-        assert!(cfg.n_conns <= 10_000, "port scheme supports at most 10000 connections");
+        assert!(
+            cfg.conn_base + cfg.n_conns <= 10_000,
+            "port scheme supports at most 10000 connections (base {} + {})",
+            cfg.conn_base,
+            cfg.n_conns
+        );
         assert!(cfg.chunk > 0 && cfg.chunk + 64 <= 1536, "chunk must fit one TPDU");
         // Slot pool: a few datagrams per connection stay queued between
         // rounds (data in flight + ACKs); overruns are recovered by
@@ -241,16 +254,19 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
         let mut table = ConnTable::new();
         let mut clients = Vec::with_capacity(cfg.n_conns);
         for i in 0..cfg.n_conns {
+            // `g` is the connection's global index; everything derived
+            // from identity (ports, IPs, ISS, file pattern) uses it.
+            let g = cfg.conn_base + i;
             let weight = cfg.weights.get(i).copied().unwrap_or(1).max(1);
             let tx_cfg = UtcpConfig {
-                local_port: server_data_port(i),
-                peer_port: client_data_port(i),
+                local_port: server_data_port(g),
+                peer_port: client_data_port(g),
                 local_ip: SERVER_IP,
-                peer_ip: client_ip(i),
+                peer_ip: client_ip(g),
                 ring_capacity: 8 * 1024,
                 ..Default::default()
             };
-            let tx = Connection::new(space, &mut lb, tx_cfg, server_iss(i));
+            let tx = Connection::new(space, &mut lb, tx_cfg, server_iss(g));
             let file = space.alloc_kind("srv_file", cfg.file_len.max(64), 64, RegionKind::AppData);
             table.insert(Session {
                 tx,
@@ -260,29 +276,29 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
                 chunk: cfg.chunk,
                 next_chunk: 0,
                 weight,
-                client_data_port: client_data_port(i),
-                client_ctrl_port: ctrl_port(i),
+                client_data_port: client_data_port(g),
+                client_ctrl_port: ctrl_port(g),
                 stats: PerConnStats::default(),
             });
             let rx_cfg = UtcpConfig {
-                local_port: client_data_port(i),
-                peer_port: server_data_port(i),
-                local_ip: client_ip(i),
+                local_port: client_data_port(g),
+                peer_port: server_data_port(g),
+                local_ip: client_ip(g),
                 peer_ip: SERVER_IP,
                 ring_capacity: 256, // receive-only: the ring is unused
                 ..Default::default()
             };
-            let rx = Connection::new(space, &mut lb, rx_cfg, client_iss(i));
-            let ctrl_ep = lb.register(ctrl_port(i));
+            let rx = Connection::new(space, &mut lb, rx_cfg, client_iss(g));
+            let ctrl_ep = lb.register(ctrl_port(g));
             let app_out =
                 space.alloc_kind("cli_out", cfg.file_len.max(64), 64, RegionKind::AppData);
             clients.push(ClientSide {
                 rx,
                 ctrl_ep,
-                ctrl_port: ctrl_port(i),
-                data_port: client_data_port(i),
-                ip: client_ip(i),
-                iss: client_iss(i),
+                ctrl_port: ctrl_port(g),
+                data_port: client_data_port(g),
+                ip: client_ip(g),
+                iss: client_iss(g),
                 weight,
                 established: false,
                 app_out,
@@ -312,7 +328,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
     pub fn fill_files<M: Mem>(&self, m: &mut M) {
         for (i, sess) in self.table.iter().enumerate() {
             for j in 0..sess.file_len {
-                m.write_u8(sess.file.at(j), file_pattern(i, j));
+                m.write_u8(sess.file.at(j), file_pattern(self.cfg.conn_base + i, j));
             }
         }
     }
@@ -452,7 +468,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
                 SERVER_IP,
                 info.src_ip,
                 info.ctrl_port,
-                server_iss(id.index()),
+                server_iss(self.cfg.conn_base + id.index()),
                 info.iss,
             );
         }
@@ -718,7 +734,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
     pub fn verify_outputs<M: Mem>(&self, m: &mut M) -> Option<usize> {
         for (i, c) in self.clients.iter().enumerate() {
             for j in 0..self.cfg.file_len {
-                if m.read_u8(c.app_out.at(j)) != file_pattern(i, j) {
+                if m.read_u8(c.app_out.at(j)) != file_pattern(self.cfg.conn_base + i, j) {
                     return Some(i);
                 }
             }

@@ -35,6 +35,10 @@
 //! * [`harness`] — [`harness::ScaleHarness`]: builds the whole world
 //!   (server, N clients, shared kernel part) in one [`memsim`] address
 //!   space and drives transfers to completion over either memory world.
+//! * [`shard`] — multi-threaded serving: the connection space split
+//!   into contiguous slices, one fully independent harness world per
+//!   OS thread, per-shard recorders merged into one report after the
+//!   join.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +49,7 @@ pub mod handshake;
 pub mod harness;
 pub mod pipeline;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 
 pub use clock::VirtualClock;
@@ -53,4 +58,5 @@ pub use handshake::LISTEN_PORT;
 pub use harness::{AggregateReport, Path, ScaleHarness, ServerConfig, WorldInit, SERVER_IP};
 pub use pipeline::Scratch;
 pub use sched::{DeficitRoundRobin, RoundRobin, Scheduler};
+pub use shard::{run_sharded, shard_configs, SchedPolicy, ShardOutcome, ShardedReport};
 pub use stats::{jain_fairness, PerConnStats};

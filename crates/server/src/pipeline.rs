@@ -229,6 +229,17 @@ pub fn send_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
         if part.is_empty() {
             continue;
         }
+        // The per-part checksum taps are merged with InetChecksum::combine,
+        // which only reassociates over even byte counts at even offsets
+        // (an odd part would pad mid-message per RFC 1071 and silently
+        // corrupt the patched header checksum). SegmentPlan aligns parts
+        // to the cipher block (a multiple of 4), so this always holds.
+        debug_assert!(
+            part.start % 2 == 0 && part.len() % 2 == 0,
+            "combine precondition: part [{}, {}) must be even-aligned",
+            part.start,
+            part.end
+        );
         let mut source = words.range_source(part.start / 4, part.end / 4);
         let mut sink = tx.ring_writer_at(extent, part.start);
         ilp_run(m, &mut source, &mut stages, &mut sink, 1, Some(s.code_ilp_send))

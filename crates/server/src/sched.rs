@@ -182,6 +182,84 @@ mod tests {
         }
     }
 
+    /// Deterministic xorshift64* — the workspace carries no registry
+    /// dependencies, so randomized tests roll their own generator.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
+
+    #[test]
+    fn drr_random_weights_and_charges_terminate_and_converge() {
+        // `pick`'s top-up loop terminates only because `new` clamps every
+        // weight to ≥ 1 (a weight-0 connection would top up by 0 forever
+        // once its credit went negative). Hammer it with random weight
+        // vectors — zeros included — and random per-pick charges that can
+        // dwarf the quantum: every pick must return (the test completing
+        // is the termination proof), and accumulated bytes must converge
+        // to weight-proportional shares.
+        let mut rng = Rng(0x1234_5678_9ABC_DEF0);
+        for trial in 0..20 {
+            let n = 2 + rng.below(6) as usize;
+            let weights: Vec<u32> = (0..n).map(|_| rng.below(9) as u32).collect(); // 0..=8
+            let quantum = 1 + rng.below(2000) as u32;
+            let mut drr = DeficitRoundRobin::new(weights.clone(), quantum);
+            let ready = ids(&(0..n as u32).collect::<Vec<_>>());
+            let mut bytes = vec![0u64; n];
+            let picks = 30_000;
+            for _ in 0..picks {
+                let c = drr.pick(&ready).expect("ready is non-empty");
+                // Charges up to ~6 KiB: routinely several grants' worth.
+                let cost = 1 + rng.below(6000) as usize;
+                bytes[c.index()] += cost as u64;
+                drr.charge(c, cost);
+            }
+            let eff: Vec<f64> = weights.iter().map(|&w| f64::from(w.max(1))).collect();
+            let total_w: f64 = eff.iter().sum();
+            let total_b: f64 = bytes.iter().map(|&b| b as f64).sum();
+            for (i, &b) in bytes.iter().enumerate() {
+                let expect = total_b * eff[i] / total_w;
+                let err = (b as f64 - expect).abs() / expect;
+                assert!(
+                    err < 0.05,
+                    "trial {trial}: conn {i} (weight {}) got {b} bytes, \
+                     expected ~{expect:.0} (err {err:.3}); weights {weights:?}",
+                    weights[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drr_terminates_with_partial_ready_sets() {
+        // Random ready subsets: connections left out of `ready` keep
+        // their (possibly deeply negative) deficits and must not wedge
+        // the top-up loop when they rejoin later.
+        let mut rng = Rng(0xDEAD_BEEF_0BAD_F00D);
+        let n = 6u32;
+        let mut drr = DeficitRoundRobin::new(vec![0, 1, 2, 3, 4, 5], 512);
+        for _ in 0..5_000 {
+            let mask = 1 + rng.below((1 << n) - 1); // non-empty subset
+            let ready: Vec<ConnId> =
+                (0..n).filter(|i| mask & (1 << i) != 0).map(ConnId).collect();
+            let c = drr.pick(&ready).expect("non-empty ready set");
+            assert!(ready.contains(&c), "picked id must come from the ready set");
+            drr.charge(c, 1 + rng.below(4096) as usize);
+        }
+    }
+
     #[test]
     fn drr_credit_is_spent_and_replenished() {
         let mut drr = DeficitRoundRobin::new(vec![1, 1], 100);

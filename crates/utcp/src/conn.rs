@@ -325,6 +325,14 @@ impl Connection {
         m.compute(60); // header prediction, timers, reassembly checks
     }
 
+    /// Whether a `len`-byte segment fits in the send window.
+    ///
+    /// The flow-control invariant (audited): *flight size plus the new
+    /// segment* must stay within `min(peer_window, cwnd)` — comparing
+    /// `len` alone would let a sender stream an unbounded amount of
+    /// unacknowledged data past a small advertised window. Every send
+    /// path funnels through [`Connection::reserve`] → here, so this is
+    /// the single place the bound is enforced.
     fn window_allows(&self, len: usize) -> bool {
         let allowed = (self.peer_window as u32).min(self.cwnd);
         self.in_flight() as usize + len <= allowed as usize
@@ -992,6 +1000,36 @@ mod tests {
             w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100),
             Err(SendError::WindowClosed)
         );
+    }
+
+    #[test]
+    fn advertised_window_caps_outstanding_data() {
+        // A small advertised window must cap *total* outstanding bytes,
+        // not just the size of any single segment: 100-byte segments all
+        // individually fit a 250-byte window, but the third must be
+        // refused because 200 bytes are already in flight.
+        let mut w = world();
+        w.tx.peer_window = 250;
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100).unwrap();
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100).unwrap();
+        assert_eq!(w.tx.in_flight(), 200);
+        assert_eq!(
+            w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100),
+            Err(SendError::WindowClosed),
+            "200 in flight + 100 exceeds the 250-byte advertised window"
+        );
+        assert!(!w.tx.can_send(100), "can_send must agree with reserve");
+        assert!(w.tx.can_send(50), "a 50-byte segment still fits the window");
+        // Acknowledging the first segment reopens exactly its share.
+        let d = w.rx.poll_input(&mut m, &mut w.lb).expect("first data segment");
+        let sum = checksum_buf(&mut m, d.payload_addr, d.payload_len);
+        w.rx.finish_recv(&mut m, &mut w.lb, &d, sum).unwrap();
+        let _ = w.tx.poll_input(&mut m, &mut w.lb);
+        assert_eq!(w.tx.in_flight(), 100);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100).unwrap();
+        assert_eq!(w.tx.in_flight(), 200, "window reopened by exactly the acked bytes");
     }
 
     #[test]

@@ -11,6 +11,9 @@ cargo build --release --offline
 echo "== tests =="
 cargo test -q --offline
 
+echo "== tests (release: debug_assert-free ring arithmetic, real thread timing) =="
+cargo test --release -q --offline
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 
@@ -22,5 +25,14 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_observe.js
     ilp.metrics.chunk_latency_ticks.p50:num ilp.metrics.chunk_latency_ticks.p99:num \
     ilp.work:obj ilp.trace.events:arr ilp.trace.events.0.tick:num \
     non_ilp.counters.reject_checksum:num
+
+echo "== sharding: run the shard sweep and schema-check its report =="
+cargo run -q --release --offline -p bench --bin exp_shard_scale
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_shard_scale.json \
+    experiment:str host_threads:num reps:num points:arr \
+    points.0.conns:num points.0.shards:num points.0.payload_bytes:num \
+    points.0.wall_us:num points.0.mbps:num points.0.speedup_vs_1shard:num \
+    points.0.max_shard_rounds:num points.0.per_shard_rounds:arr \
+    table:obj
 
 echo "CI green."
