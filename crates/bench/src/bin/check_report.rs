@@ -5,37 +5,17 @@
 //! Each spec is a dotted path into the document plus an expected type,
 //! e.g. `experiment:str`, `points:arr`, `points.0.paths.ilp.mbps:num`.
 //! Numeric array indices step into arrays. Types: `str`, `num` (any
-//! finite number), `arr`, `obj`, `bool`. The tool exits non-zero on the
-//! first unparseable file, missing key, or type mismatch — CI runs it
-//! against every emitted `BENCH_*.json` so a refactor that silently
-//! drops a field fails the build instead of the downstream consumer.
+//! finite number), `arr`, `obj`, `bool` — an unknown type tag is
+//! reported as a bad *spec*, not a data mismatch. The walking and
+//! type-checking logic lives in [`bench::schema`], shared with the
+//! `perf_gate` value checker. The tool exits non-zero on the first
+//! unparseable file, malformed spec, missing key, or type mismatch —
+//! CI runs it against every emitted `BENCH_*.json` so a refactor that
+//! silently drops a field fails the build instead of the downstream
+//! consumer.
 
-use obs::Json;
+use bench::schema::check_spec;
 use std::process::ExitCode;
-
-/// Walk a dotted path; returns `None` when a segment is missing.
-fn walk<'a>(mut j: &'a Json, path: &str) -> Option<&'a Json> {
-    for seg in path.split('.') {
-        j = match j {
-            Json::Obj(_) => j.get(seg)?,
-            Json::Arr(v) => v.get(seg.parse::<usize>().ok()?)?,
-            _ => return None,
-        };
-    }
-    Some(j)
-}
-
-/// Does `j` satisfy the expected type tag?
-fn type_ok(j: &Json, ty: &str) -> bool {
-    match ty {
-        "str" => j.as_str().is_some(),
-        "num" => j.as_f64().is_some_and(f64::is_finite),
-        "arr" => j.as_arr().is_some(),
-        "obj" => matches!(j, Json::Obj(_)),
-        "bool" => matches!(j, Json::Bool(_)),
-        _ => false,
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,20 +38,9 @@ fn main() -> ExitCode {
         }
     };
     for spec in specs {
-        let Some((path, ty)) = spec.rsplit_once(':') else {
-            eprintln!("check_report: bad spec {spec:?} (want path:type)");
+        if let Err(e) = check_spec(&doc, spec) {
+            eprintln!("check_report: {file}: {e}");
             return ExitCode::FAILURE;
-        };
-        match walk(&doc, path) {
-            None => {
-                eprintln!("check_report: {file}: missing {path}");
-                return ExitCode::FAILURE;
-            }
-            Some(v) if !type_ok(v, ty) => {
-                eprintln!("check_report: {file}: {path} is not a {ty}");
-                return ExitCode::FAILURE;
-            }
-            Some(_) => {}
         }
     }
     println!("check_report: {file}: {} checks passed", specs.len());

@@ -1,0 +1,122 @@
+//! Deterministic perf-regression gate.
+//!
+//! Usage:
+//!
+//! ```bash
+//! perf_gate                      # compare fresh reports vs baselines/
+//! perf_gate --record             # (re)write baselines/ from fresh reports
+//! perf_gate --baseline-dir DIR   # use DIR instead of baselines/
+//! ```
+//!
+//! Reads each report named in [`bench::gate::manifest`] from the
+//! working directory (CI emits them immediately beforehand), distils
+//! the gated metrics, and either records them under the baseline
+//! directory or compares them against the committed distillates there.
+//! Simulated metrics are virtual-clock-deterministic, so the comparison
+//! is exact (or wide-relative-tolerance for derived floats) — see the
+//! policy table in [`bench::gate`]. Exits non-zero on the first file
+//! whose gate fails; an intentional perf change re-records and commits
+//! the `baselines/` diff.
+
+use bench::gate::{compare, distill, manifest};
+use obs::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    obs::json::parse(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut record = false;
+    let mut dir = PathBuf::from("baselines");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--record" => record = true,
+            "--baseline-dir" => match args.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => {
+                    eprintln!("perf_gate: --baseline-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("perf_gate: unknown argument {other:?}");
+                eprintln!("usage: perf_gate [--record] [--baseline-dir DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = false;
+    for fm in manifest() {
+        let report = match load(Path::new(fm.file)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf_gate: {e} (run the emitting experiment first)");
+                failed = true;
+                continue;
+            }
+        };
+        let distilled = match distill(&report, &fm.checks) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("perf_gate: {}: {e}", fm.file);
+                failed = true;
+                continue;
+            }
+        };
+        let base_path = dir.join(fm.file);
+        if record {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("perf_gate: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = obs::write_report(&base_path, &distilled) {
+                eprintln!("perf_gate: cannot write {}: {e}", base_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "perf_gate: recorded {} ({} metrics)",
+                base_path.display(),
+                fm.checks.len()
+            );
+            continue;
+        }
+        let baseline = match load(&base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("perf_gate: {e}");
+                eprintln!("perf_gate: no baseline for {} — run `perf_gate --record` and commit {}", fm.file, dir.display());
+                failed = true;
+                continue;
+            }
+        };
+        let out = compare(&baseline, &report, &fm.checks);
+        for note in &out.notes {
+            println!("perf_gate: {}: {note}", fm.file);
+        }
+        if out.passed() {
+            println!("perf_gate: {}: {} metrics match {}", fm.file, out.checked, base_path.display());
+        } else {
+            for f in &out.failures {
+                eprintln!("perf_gate: {}: FAIL {f}", fm.file);
+            }
+            eprintln!(
+                "perf_gate: {}: {} regression(s) vs {} — if intentional, re-run with --record and commit the diff",
+                fm.file,
+                out.failures.len(),
+                base_path.display()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,329 @@
+//! The deterministic perf-regression gate behind the `perf_gate` binary.
+//!
+//! Every number the simulation produces — rounds, work units per
+//! stage×layer, simulated cache misses, reject counts, virtual-tick
+//! latency percentiles — is a pure function of the configuration and
+//! the virtual clock, so it is *bit-identical* across machines and
+//! runs. That turns perf regression testing from a statistics problem
+//! into an equality check: CI re-emits the reports and compares a
+//! distilled set of metrics against committed baselines. A refactor
+//! that silently adds a pass over the data, evicts more cache lines, or
+//! changes retransmit behaviour moves one of these numbers and fails
+//! the gate; an intentional change re-records with `perf_gate --record`
+//! and the diff of `baselines/` documents the shift in review.
+//!
+//! Three policies ([`Policy`]):
+//!
+//! * [`Policy::Exact`] — deterministic metrics; any drift fails.
+//! * [`Policy::RelTol`] — derived floating-point metrics (`mbps`,
+//!   `l1d_miss_pct`, …). Deterministic too in this workspace, but a
+//!   wide tolerance keeps the gate honest if float formatting or
+//!   evaluation order ever differs across toolchains.
+//! * [`Policy::ReportOnly`] — printed for the log, never fails; the
+//!   place for genuinely wall-clock-dependent numbers.
+
+use crate::schema::walk;
+use obs::Json;
+
+/// How strictly a metric is held to its baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Policy {
+    /// Bit-exact equality of the JSON values.
+    Exact,
+    /// Numeric, within this relative tolerance (0.02 = ±2 %).
+    RelTol(f64),
+    /// Logged for the record; never a failure.
+    ReportOnly,
+}
+
+/// One gated metric: a dotted path into a report, and its policy.
+pub struct Check {
+    /// Dotted path into the report document (see [`crate::schema::walk`]).
+    pub path: &'static str,
+    /// How drift from the baseline is judged.
+    pub policy: Policy,
+}
+
+impl Check {
+    /// Shorthand constructor.
+    pub const fn new(path: &'static str, policy: Policy) -> Self {
+        Check { path, policy }
+    }
+}
+
+/// The gated metrics of one report file.
+pub struct FileManifest {
+    /// Report file name, emitted into the working directory by its
+    /// experiment binary and mirrored (distilled) under `baselines/`.
+    pub file: &'static str,
+    /// The metrics gated in that file.
+    pub checks: Vec<Check>,
+}
+
+/// The full gate manifest: which files, which metrics, which policies.
+///
+/// Everything under `Exact` here is virtual-clock output — counts of
+/// simulated events — and therefore machine-independent. The float
+/// metrics under `RelTol` are derived from the same deterministic
+/// inputs through the host cost model; 2 % is far wider than any real
+/// drift, so a tolerance failure means a real behaviour change.
+pub fn manifest() -> Vec<FileManifest> {
+    use Policy::{Exact, RelTol};
+    let e = |p| Check::new(p, Exact);
+    let t = |p| Check::new(p, RelTol(0.02));
+    vec![
+        FileManifest {
+            file: "BENCH_observe.json",
+            checks: vec![
+                e("conns"),
+                e("file_len"),
+                // Counters: delivery, loss handling, rejects by cause.
+                e("ilp.counters.chunks_sent"),
+                e("ilp.counters.chunks_delivered"),
+                e("ilp.counters.retransmits"),
+                e("ilp.counters.reject_checksum"),
+                e("ilp.counters.reject_out_of_order"),
+                e("non_ilp.counters.chunks_delivered"),
+                e("non_ilp.counters.reject_checksum"),
+                // Work units per stage×layer — the paper's core currency.
+                e("ilp.work.ilp.total"),
+                e("ilp.work.ilp.integrated.total"),
+                e("ilp.work.ilp.integrated.by_layer.fused"),
+                e("non_ilp.work.non_ilp.total"),
+                // Virtual-tick latency distribution.
+                e("ilp.metrics.chunk_latency_ticks.count"),
+                e("ilp.metrics.chunk_latency_ticks.p50"),
+                e("ilp.metrics.chunk_latency_ticks.p99"),
+                // Windowed series: the run's shape over virtual time.
+                e("ilp.series.sealed_windows"),
+                e("ilp.series.last_tick"),
+                e("ilp.series.windows.0.chunks_sent"),
+                t("ilp.work.ilp.integrated.share"),
+            ],
+        },
+        FileManifest {
+            file: "BENCH_server_scale.json",
+            checks: vec![
+                // Smallest (1 conn) and largest (1024 conns) sweep points.
+                e("points.0.conns"),
+                e("points.0.paths.ilp.rounds"),
+                e("points.0.paths.ilp.payload_bytes"),
+                e("points.0.paths.ilp.cache.mem_accesses"),
+                e("points.0.paths.ilp.retransmits"),
+                e("points.0.paths.ilp.rejected"),
+                e("points.0.paths.ilp.chunk_latency_ticks.p50"),
+                e("points.0.paths.ilp.chunk_latency_ticks.p99"),
+                e("points.0.paths.non_ilp.rounds"),
+                e("points.0.paths.non_ilp.cache.mem_accesses"),
+                e("points.5.conns"),
+                e("points.5.paths.ilp.rounds"),
+                e("points.5.paths.ilp.payload_bytes"),
+                e("points.5.paths.ilp.cache.mem_accesses"),
+                e("points.5.paths.ilp.chunk_latency_ticks.p99"),
+                e("points.5.paths.non_ilp.cache.mem_accesses"),
+                // Derived floats: throughput, miss rate, fairness.
+                t("points.0.paths.ilp.mbps"),
+                t("points.5.paths.ilp.mbps"),
+                t("points.5.paths.non_ilp.mbps"),
+                t("points.5.paths.ilp.cache.l1d_miss_pct"),
+                t("points.0.paths.ilp.fairness"),
+                Check::new("points.5.gain_pct", Policy::ReportOnly),
+            ],
+        },
+    ]
+}
+
+/// Distill a full report into the flat `{dotted path: value}` object
+/// that gets committed under `baselines/`. Errors if a gated path is
+/// missing — a baseline must never be recorded with holes.
+pub fn distill(doc: &Json, checks: &[Check]) -> Result<Json, String> {
+    let mut out = Json::obj();
+    for c in checks {
+        let v = walk(doc, c.path)
+            .ok_or_else(|| format!("report lacks gated path {}", c.path))?;
+        out = out.set(c.path, v.clone());
+    }
+    Ok(out)
+}
+
+/// What one file's gate run concluded.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Checks that passed (or were report-only).
+    pub checked: usize,
+    /// Report-only observations, for the log.
+    pub notes: Vec<String>,
+    /// Human-readable failures; empty means the gate passed.
+    pub failures: Vec<String>,
+}
+
+impl Outcome {
+    /// Did every non-report-only check hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare a freshly-emitted report against a distilled baseline.
+/// `baseline` is the flat object [`distill`] wrote; `current` is the
+/// full report document.
+pub fn compare(baseline: &Json, current: &Json, checks: &[Check]) -> Outcome {
+    let mut out = Outcome::default();
+    for c in checks {
+        let Some(base) = baseline.get(c.path) else {
+            out.failures.push(format!(
+                "{}: not in baseline (stale baseline? re-record with --record)",
+                c.path
+            ));
+            continue;
+        };
+        let Some(cur) = walk(current, c.path) else {
+            out.failures
+                .push(format!("{}: missing from the current report", c.path));
+            continue;
+        };
+        match c.policy {
+            Policy::Exact => {
+                if base == cur {
+                    out.checked += 1;
+                } else {
+                    out.failures.push(format!(
+                        "{}: baseline {} != current {} (exact)",
+                        c.path,
+                        base.render(),
+                        cur.render()
+                    ));
+                }
+            }
+            Policy::RelTol(tol) => match (base.as_f64(), cur.as_f64()) {
+                (Some(b), Some(v)) => {
+                    let rel = (b - v).abs() / b.abs().max(v.abs()).max(1e-12);
+                    if rel <= tol {
+                        out.checked += 1;
+                    } else {
+                        out.failures.push(format!(
+                            "{}: baseline {b} vs current {v} drifts {:.2}% (tol {:.2}%)",
+                            c.path,
+                            100.0 * rel,
+                            100.0 * tol
+                        ));
+                    }
+                }
+                _ => out.failures.push(format!(
+                    "{}: RelTol needs numbers, got baseline {} / current {}",
+                    c.path,
+                    base.render(),
+                    cur.render()
+                )),
+            },
+            Policy::ReportOnly => {
+                out.checked += 1;
+                out.notes.push(format!(
+                    "{}: baseline {} / current {} (report-only)",
+                    c.path,
+                    base.render(),
+                    cur.render()
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Json {
+        Json::obj()
+            .set(
+                "work",
+                Json::obj().set("fused", Json::U64(901_195)).set("rounds", Json::U64(84)),
+            )
+            .set("mbps", Json::F64(17.25))
+            .set("wall_us", Json::U64(123_456))
+    }
+
+    fn checks() -> Vec<Check> {
+        vec![
+            Check::new("work.fused", Policy::Exact),
+            Check::new("work.rounds", Policy::Exact),
+            Check::new("mbps", Policy::RelTol(0.02)),
+            Check::new("wall_us", Policy::ReportOnly),
+        ]
+    }
+
+    #[test]
+    fn unchanged_report_passes_against_its_own_distillate() {
+        let doc = report();
+        let base = distill(&doc, &checks()).unwrap();
+        let out = compare(&base, &doc, &checks());
+        assert!(out.passed(), "failures: {:?}", out.failures);
+        assert_eq!(out.checked, 4);
+        assert_eq!(out.notes.len(), 1, "wall_us is reported");
+    }
+
+    #[test]
+    fn perturbing_a_deterministic_metric_fails_the_gate() {
+        // The acceptance criterion: a one-unit drift in a simulated
+        // work count — the kind a stray extra pass over the data
+        // produces — must fail, loudly, naming the metric.
+        let base = distill(&report(), &checks()).unwrap();
+        let perturbed = report().set(
+            "work",
+            Json::obj().set("fused", Json::U64(901_196)).set("rounds", Json::U64(84)),
+        );
+        let out = compare(&base, &perturbed, &checks());
+        assert!(!out.passed());
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("work.fused"), "{}", out.failures[0]);
+        assert!(out.failures[0].contains("901195"), "{}", out.failures[0]);
+        assert!(out.failures[0].contains("901196"), "{}", out.failures[0]);
+    }
+
+    #[test]
+    fn rel_tol_allows_small_drift_but_not_large() {
+        let base = distill(&report(), &checks()).unwrap();
+        let near = report().set("mbps", Json::F64(17.25 * 1.01)); // +1 % < 2 %
+        assert!(compare(&base, &near, &checks()).passed());
+        let far = report().set("mbps", Json::F64(17.25 * 1.05)); // +5 % > 2 %
+        let out = compare(&base, &far, &checks());
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("mbps"), "{}", out.failures[0]);
+        assert!(out.failures[0].contains("tol"), "{}", out.failures[0]);
+    }
+
+    #[test]
+    fn report_only_metrics_never_fail() {
+        let base = distill(&report(), &checks()).unwrap();
+        // Wall time doubling is noise, not a regression.
+        let doc = report().set("wall_us", Json::U64(246_912));
+        let out = compare(&base, &doc, &checks());
+        assert!(out.passed());
+        assert!(out.notes.iter().any(|n| n.contains("wall_us")));
+    }
+
+    #[test]
+    fn stale_or_holey_baselines_fail_instead_of_passing_vacuously() {
+        let doc = report();
+        // A baseline missing a newly-gated metric must not silently pass.
+        let stale = Json::obj().set("work.fused", Json::U64(901_195));
+        let out = compare(&stale, &doc, &checks());
+        assert!(!out.passed());
+        assert!(out.failures.iter().any(|f| f.contains("work.rounds") && f.contains("--record")));
+        // And distilling a report that lacks a gated path is an error.
+        let err = distill(&Json::obj(), &checks()).unwrap_err();
+        assert!(err.contains("work.fused"), "{err}");
+    }
+
+    #[test]
+    fn manifest_paths_are_well_formed_and_unique() {
+        for fm in manifest() {
+            let mut seen = std::collections::BTreeSet::new();
+            for c in &fm.checks {
+                assert!(!c.path.is_empty() && !c.path.contains(':'), "{}", c.path);
+                assert!(seen.insert(c.path), "duplicate gated path {} in {}", c.path, fm.file);
+            }
+        }
+    }
+}

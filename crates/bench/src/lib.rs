@@ -27,6 +27,13 @@
 //! Criterion benches `microbench` and `dispatch` measure the same two
 //! native-CPU experiments with statistical rigour.
 //!
+//! Two CI helper binaries ride along: `check_report` validates the
+//! *shape* of emitted `BENCH_*.json` files against `path:type` specs
+//! ([`schema`]), and `perf_gate` validates their *values* against
+//! committed distilled baselines in `baselines/` ([`gate`]) — the
+//! simulation is virtual-clock-deterministic, so most metrics are held
+//! to exact equality.
+//!
 //! Environment knobs: `ILP_VOLUME_MB` overrides the Fig. 13/14 transfer
 //! volume (default 10.7, the paper's); `ILP_PACKETS` overrides the
 //! per-point packet count of the timing experiments.
@@ -34,10 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod measure;
 pub mod paper;
 pub mod report;
 pub mod rng;
+pub mod schema;
 
 pub use measure::{measure, MeasureCfg, Measurement, PathKind};
 pub use rng::XorShift64;

@@ -60,8 +60,13 @@ pub fn prometheus_text(r: &Recorder) -> String {
 }
 
 /// Write a JSON run report to `path`, pretty-printed with a trailing
-/// newline. The write goes through a `.tmp` sibling and a rename so a
-/// crashed run never leaves a half-written report for CI to choke on.
+/// newline. The write goes through a `.tmp` sibling, a rename, and an
+/// fsync of the parent directory: the file's own `sync_all` makes the
+/// *contents* durable, but the rename lives in the directory, so a
+/// crash between rename and directory flush could still lose the
+/// just-renamed report (or leave only the tmp). A crashed run therefore
+/// never leaves a half-written or missing report for CI to choke on,
+/// and the tmp sibling never outlives a successful call.
 pub fn write_report(path: &Path, report: &Json) -> std::io::Result<()> {
     let tmp = path.with_extension("json.tmp");
     {
@@ -69,7 +74,14 @@ pub fn write_report(path: &Path, report: &Json) -> std::io::Result<()> {
         f.write_all(report.render_pretty().as_bytes())?;
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    // `parent()` is `Some("")` for bare relative names like
+    // `BENCH_x.json`; that means the current directory.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(dir)?.sync_all()
 }
 
 #[cfg(test)]
@@ -115,6 +127,28 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.ends_with('\n'));
         assert_eq!(crate::json::parse(&text).unwrap(), j);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tmp_sibling_never_survives_a_successful_write() {
+        let dir = std::env::temp_dir().join("obs_expo_tmp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let tmp = path.with_extension("json.tmp");
+        let j = Json::obj().set("n", Json::U64(1));
+        // Repeated writes (including overwrites of an existing report)
+        // must always consume their tmp sibling.
+        for round in 0..3u64 {
+            write_report(&path, &j.clone().set("round", Json::U64(round))).unwrap();
+            assert!(path.exists(), "round {round}: report missing");
+            assert!(!tmp.exists(), "round {round}: tmp sibling survived the rename");
+        }
+        // Even a stale tmp left by a crashed earlier run is consumed.
+        std::fs::write(&tmp, b"{ half-written garbage").unwrap();
+        write_report(&path, &j).unwrap();
+        assert!(!tmp.exists(), "stale tmp survived");
+        assert_eq!(crate::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap(), j);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,7 +16,7 @@ pub const BUCKETS: usize = 65;
 /// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
 /// `[2^(i-1), 2^i - 1]`. Exact `count`, `sum`, `min` and `max` are kept
 /// alongside, so means and extremes do not suffer bucket rounding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: [u64; BUCKETS],
     count: u64,
@@ -117,6 +117,15 @@ impl Histogram {
             return 0;
         }
         let p = p.clamp(0.0, 100.0);
+        // The extremes are tracked exactly — return them as observed
+        // rather than a bucket bound (which for p=0 could overshoot the
+        // true minimum by up to 2×).
+        if p == 0.0 {
+            return self.min;
+        }
+        if p == 100.0 {
+            return self.max;
+        }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for i in 0..BUCKETS {
@@ -147,6 +156,71 @@ impl Histogram {
     /// — the shape Prometheus-style exposition wants.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         (0..BUCKETS).filter(|&i| self.counts[i] > 0).map(|i| (bucket_bound(i), self.counts[i]))
+    }
+
+    /// The histogram as JSON: exact `count`/`sum`/`min`/`max` (`null`
+    /// extremes when empty) plus the non-empty buckets as
+    /// `[bucket_index, count]` pairs, so [`Histogram::from_json`]
+    /// reconstructs the histogram exactly — the round trip the windowed
+    /// series snapshots rely on.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let buckets: Vec<Json> = (0..BUCKETS)
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| Json::Arr(vec![Json::U64(i as u64), Json::U64(self.counts[i])]))
+            .collect();
+        Json::obj()
+            .set("count", Json::U64(self.count))
+            .set("sum", Json::U64(self.sum))
+            .set("min", self.min().map_or(Json::Null, Json::U64))
+            .set("max", self.max().map_or(Json::Null, Json::U64))
+            .set("buckets", Json::Arr(buckets))
+    }
+
+    /// Parse a histogram written by [`Histogram::to_json`]. Rejects
+    /// malformed documents (missing keys, bucket indices out of range,
+    /// bucket counts that disagree with `count`) with a message.
+    pub fn from_json(j: &crate::json::Json) -> Result<Histogram, String> {
+        use crate::json::Json;
+        let field = |k: &str| j.get(k).ok_or_else(|| format!("histogram missing {k:?}"));
+        let num = |k: &str| -> Result<u64, String> {
+            match field(k)? {
+                Json::U64(v) => Ok(*v),
+                other => Err(format!("histogram {k:?} is not a u64: {}", other.render())),
+            }
+        };
+        let mut h = Histogram::new();
+        h.count = num("count")?;
+        h.sum = num("sum")?;
+        match field("min")? {
+            Json::Null => {}
+            Json::U64(v) => h.min = *v,
+            other => return Err(format!("histogram min is not u64/null: {}", other.render())),
+        }
+        match field("max")? {
+            Json::Null => {}
+            Json::U64(v) => h.max = *v,
+            other => return Err(format!("histogram max is not u64/null: {}", other.render())),
+        }
+        let buckets =
+            field("buckets")?.as_arr().ok_or_else(|| "histogram buckets not an array".to_string())?;
+        let mut total = 0u64;
+        for b in buckets {
+            let pair = b.as_arr().ok_or_else(|| "bucket is not a pair".to_string())?;
+            let (Some(Json::U64(i)), Some(Json::U64(n))) = (pair.first(), pair.get(1)) else {
+                return Err(format!("bucket is not [index, count]: {}", b.render()));
+            };
+            let i = *i as usize;
+            if i >= BUCKETS {
+                return Err(format!("bucket index {i} out of range"));
+            }
+            h.counts[i] += n;
+            total += n;
+        }
+        if total != h.count {
+            return Err(format!("bucket counts sum to {total}, count says {}", h.count));
+        }
+        Ok(h)
     }
 }
 
@@ -262,5 +336,90 @@ mod tests {
         for p in [0.0, 50.0, 99.0, 100.0] {
             assert_eq!(h.percentile(p), 42);
         }
+    }
+
+    #[test]
+    fn merge_with_empty_operand_preserves_extremes() {
+        let mut h = Histogram::new();
+        for v in [7u64, 300, 12] {
+            h.record(v);
+        }
+        let before = h.clone();
+        // Non-empty ⊕ empty: nothing changes, including min/max.
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        assert_eq!(h.min(), Some(7));
+        assert_eq!(h.max(), Some(300));
+        // Empty ⊕ non-empty: adopts the operand's extremes exactly.
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+        assert_eq!(e.min(), Some(7));
+        assert_eq!(e.max(), Some(300));
+        // Empty ⊕ empty stays empty (and extremes stay None).
+        let mut ee = Histogram::new();
+        ee.merge(&Histogram::new());
+        assert_eq!(ee.count(), 0);
+        assert_eq!(ee.min(), None);
+        assert_eq!(ee.max(), None);
+    }
+
+    #[test]
+    fn percentile_extremes_hit_exact_observed_values() {
+        let mut h = Histogram::new();
+        // Values far inside their buckets: bucket bounds would give 127
+        // and 8191, the clamp must give the exact observations.
+        for v in [100u64, 5000, 70] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 70, "p0 is the exact min");
+        assert_eq!(h.percentile(100.0), 5000, "p100 is the exact max");
+        // Out-of-range p clamps rather than panicking.
+        assert_eq!(h.percentile(-5.0), 70);
+        assert_eq!(h.percentile(250.0), 5000);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 3, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        let back = Histogram::from_json(&j).expect("roundtrip parse");
+        assert_eq!(back, h);
+        // Through the text renderer/parser too, as window snapshots go.
+        let text = j.render();
+        let back2 = Histogram::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back2, h);
+        // Empty histograms roundtrip with null extremes.
+        let empty = Histogram::new();
+        let je = empty.to_json();
+        assert_eq!(je.get("min"), Some(&crate::json::Json::Null));
+        assert_eq!(Histogram::from_json(&je).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_histograms() {
+        use crate::json::Json;
+        let good = {
+            let mut h = Histogram::new();
+            h.record(5);
+            h.to_json()
+        };
+        // Missing key.
+        let mut missing = good.clone();
+        if let Json::Obj(m) = &mut missing {
+            m.remove("sum");
+        }
+        assert!(Histogram::from_json(&missing).unwrap_err().contains("sum"));
+        // Bucket index out of range.
+        let bad_idx = good
+            .clone()
+            .set("buckets", Json::Arr(vec![Json::Arr(vec![Json::U64(99), Json::U64(1)])]));
+        assert!(Histogram::from_json(&bad_idx).unwrap_err().contains("out of range"));
+        // Bucket counts disagreeing with `count`.
+        let bad_sum = good.set("count", Json::U64(7));
+        assert!(Histogram::from_json(&bad_sum).unwrap_err().contains("count says 7"));
     }
 }

@@ -22,6 +22,11 @@
 //!   matrix, and the event trace;
 //! * [`json`] — a hand-rolled, escape-correct JSON value, renderer and
 //!   parser (no serde; the workspace carries no registry dependencies);
+//! * [`timeseries`] — [`timeseries::SeriesRecorder`], the windowed
+//!   view: every counter delta and sample also lands in a fixed-width
+//!   virtual-clock window, with tiered 2× coarsening of old windows so
+//!   arbitrarily long runs fit in bounded memory, window-aligned merge
+//!   across shard recorders, and an ASCII sparkline renderer;
 //! * [`expo`] — exposition: Prometheus-style text dump and the
 //!   machine-readable run-report writer behind the `BENCH_*.json` files.
 //!
@@ -38,6 +43,7 @@ pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use expo::{prometheus_text, write_report};
@@ -45,4 +51,5 @@ pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::Recorder;
 pub use span::{Counter, EventKind, Layer, Metric, NoopObserver, PathLabel, SpanObserver, Stage, Work};
+pub use timeseries::{sparkline, SeriesConfig, SeriesRecorder};
 pub use trace::{TraceEvent, TraceRing};

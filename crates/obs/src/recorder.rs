@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::hist::Histogram;
 use crate::json::Json;
 use crate::span::{Counter, EventKind, Layer, Metric, PathLabel, SpanObserver, Stage, Work};
+use crate::timeseries::{SeriesConfig, SeriesRecorder};
 use crate::trace::{TraceEvent, TraceRing};
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -34,20 +35,35 @@ pub struct Recorder {
     /// Work units by `[path][stage][layer]`.
     work: [[[u64; N_LAYERS]; N_STAGES]; N_PATHS],
     trace: TraceRing,
+    /// Windowed view of counters and samples (see [`crate::timeseries`]).
+    series: SeriesRecorder,
     now: u64,
 }
 
 impl Recorder {
-    /// A fresh recorder whose trace retains the last
-    /// `trace_capacity` events.
+    /// A fresh recorder whose trace retains the last `trace_capacity`
+    /// events, with windowed series telemetry at the default
+    /// [`SeriesConfig`].
     pub fn new(trace_capacity: usize) -> Self {
+        Self::with_series(trace_capacity, SeriesConfig::default())
+    }
+
+    /// A fresh recorder with an explicit window shape for the series.
+    pub fn with_series(trace_capacity: usize, series: SeriesConfig) -> Self {
         Recorder {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| Histogram::new()),
             work: [[[0; N_LAYERS]; N_STAGES]; N_PATHS],
             trace: TraceRing::new(trace_capacity),
+            series: SeriesRecorder::new(series),
             now: 0,
         }
+    }
+
+    /// The windowed time series every counter delta and sample also
+    /// lands in.
+    pub fn series(&self) -> &SeriesRecorder {
+        &self.series
     }
 
     /// Current value of a run counter.
@@ -98,12 +114,15 @@ impl Recorder {
 
     /// Fold another recorder into this one: counters and the work matrix
     /// add, histograms merge bucket-wise (exact count/sum/min/max), the
-    /// traces concatenate with drop accounting, and `now` takes the
-    /// later clock. This is how the sharded server unifies per-shard
-    /// recorders into one report; merging is associative and (up to
-    /// trace interleaving order) commutative, and merging a recorder
-    /// into a fresh one of the same trace capacity reproduces its
-    /// [`Recorder::to_json`] byte for byte.
+    /// traces concatenate with drop accounting, the windowed series
+    /// merge window-aligned (see
+    /// [`crate::timeseries::SeriesRecorder::merge_from`]; the series
+    /// configs must match), and `now` takes the later clock. This is how
+    /// the sharded server unifies per-shard recorders into one report;
+    /// merging is associative and (up to trace interleaving order)
+    /// commutative, and merging a recorder into a fresh one of the same
+    /// trace capacity reproduces its [`Recorder::to_json`] byte for
+    /// byte.
     ///
     /// Trace events keep their shard-local connection indices; callers
     /// that need global attribution should emit per-shard sections (see
@@ -123,6 +142,7 @@ impl Recorder {
             }
         }
         self.trace.merge_from(&other.trace);
+        self.series.merge_from(&other.series);
         self.now = self.now.max(other.now);
     }
 
@@ -197,6 +217,7 @@ impl Recorder {
             .set("metrics", metrics)
             .set("work", work)
             .set("trace", trace)
+            .set("series", self.series.to_json())
     }
 }
 
@@ -204,6 +225,7 @@ impl SpanObserver for Recorder {
     #[inline]
     fn tick(&mut self, now: u64) {
         self.now = now;
+        self.series.tick(now);
     }
 
     /// The user share of `work` lands in `(path, stage, layer)`; the
@@ -217,10 +239,12 @@ impl SpanObserver for Recorder {
 
     fn count(&mut self, counter: Counter, n: u64) {
         self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+        self.series.count(counter, n);
     }
 
     fn sample(&mut self, metric: Metric, value: u64) {
         self.hists[metric.index()].record(value);
+        self.series.sample(metric, value);
     }
 
     fn event(&mut self, kind: EventKind, conn: u32, value: u64) {
@@ -364,5 +388,28 @@ mod tests {
         let ev = j.get("trace").and_then(|t| t.get("events")).and_then(|e| e.as_arr()).unwrap();
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].get("kind").and_then(|k| k.as_str()), Some("established"));
+        let series = j.get("series").expect("series key");
+        assert!(series.get("windows").and_then(|w| w.as_arr()).is_some());
+    }
+
+    #[test]
+    fn series_windows_account_for_every_count_and_sample() {
+        let mut r = Recorder::with_series(
+            8,
+            crate::timeseries::SeriesConfig { window_ticks: 16, ring: 4 },
+        );
+        for t in 0..200u64 {
+            r.tick(t);
+            r.count(Counter::ChunksSent, 1);
+            if t % 3 == 0 {
+                r.sample(Metric::ChunkLatencyTicks, t);
+            }
+        }
+        let windowed: u64 = r.series().counter_values(Counter::ChunksSent).iter().sum();
+        assert_eq!(windowed, r.counter(Counter::ChunksSent), "no count lost to windowing");
+        let sampled: u64 =
+            r.series().iter().map(|w| w.hist(Metric::ChunkLatencyTicks).count()).sum();
+        assert_eq!(sampled, r.hist(Metric::ChunkLatencyTicks).count());
+        assert!(r.series().iter().count() > 1, "run spans several windows");
     }
 }

@@ -92,6 +92,17 @@ impl TraceRing {
     /// honest across the merge. Merging a ring into a fresh one of the
     /// same capacity reproduces it exactly — the property the sharded
     /// server's report merge relies on.
+    ///
+    /// Accounting invariants, preserved across arbitrarily chained
+    /// merges (each push bumps `pushed` by one, and the carried
+    /// `other.overwritten()` term commutes with those bumps, so the
+    /// order of the two steps below does not matter):
+    ///
+    /// * `total_pushed == len + overwritten` (definitional: see
+    ///   [`TraceRing::overwritten`]);
+    /// * `merged.total_pushed == self.total_pushed + other.total_pushed`
+    ///   — no event, retained or dropped, is ever double-counted or
+    ///   forgotten.
     pub fn merge_from(&mut self, other: &TraceRing) {
         for ev in other.iter() {
             self.push(*ev);
@@ -185,6 +196,39 @@ mod tests {
         assert_eq!(ticks, [2, 3, 4]);
         assert_eq!(b.total_pushed(), 2 + 5, "a's overwritten events still count");
         assert_eq!(b.overwritten(), 4);
+    }
+
+    #[test]
+    fn chained_merges_of_full_rings_keep_drop_accounting_consistent() {
+        // Build several rings that have all wrapped (overwritten > 0).
+        let full = |base: u64, pushes: u64| {
+            let mut r = TraceRing::new(4);
+            for t in 0..pushes {
+                r.push(ev(base + t));
+            }
+            assert!(r.overwritten() > 0, "ring must have wrapped");
+            r
+        };
+        let rings = [full(0, 9), full(100, 6), full(200, 13), full(300, 5)];
+        let mut acc = TraceRing::new(4);
+        let mut expected_total = 0u64;
+        for r in &rings {
+            acc.merge_from(r);
+            expected_total += r.total_pushed();
+            // The definitional identity holds at every step...
+            assert_eq!(
+                acc.total_pushed(),
+                acc.len() as u64 + acc.overwritten(),
+                "total_pushed == len + overwritten"
+            );
+            // ...and so does additivity: nothing double-counted, nothing
+            // forgotten, no matter how many merges came before.
+            assert_eq!(acc.total_pushed(), expected_total);
+        }
+        // The survivors are the newest `capacity` events pushed — the
+        // last ring's retained window (it pushed 4 retained events).
+        let ticks: Vec<u64> = acc.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [301, 302, 303, 304]);
     }
 
     #[test]

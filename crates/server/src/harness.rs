@@ -16,6 +16,12 @@
 //! The loop is single-threaded on purpose: the paper's machines served
 //! all connections from one CPU, and the cache effects the experiment
 //! measures come precisely from that interleaving.
+//!
+//! When observed ([`ScaleHarness::run_observed`]), the harness calls
+//! [`obs::SpanObserver::tick`] at the top of every round, which is also
+//! what flushes the recorder's windowed time series: a window seals
+//! exactly when the virtual clock crosses a window boundary, so the
+//! series' shape is a pure function of the run, never of host timing.
 
 use cipher::{CipherKernel, SimplifiedSafer, VerySimple};
 use ilp_core::Reject;

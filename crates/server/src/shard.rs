@@ -30,8 +30,12 @@
 //! After the join, per-shard recorders fold into one unified recorder
 //! via [`obs::Recorder::merge`] (counters and work matrices add,
 //! histograms merge bucket-wise, traces concatenate with drop
-//! accounting). The merged trace keeps shard-local connection indices;
-//! per-shard attribution lives in the shard-labelled sections of
+//! accounting, and windowed time series merge *window-aligned*: shards
+//! share the virtual-clock origin, so window `k` of one shard lines up
+//! with window `k` of every other, and the merged series is the
+//! per-window sum — see [`obs::SeriesRecorder::merge_from`]). The
+//! merged trace keeps shard-local connection indices; per-shard
+//! attribution lives in the shard-labelled sections of
 //! [`ShardedReport::to_json`].
 
 use std::time::{Duration, Instant};

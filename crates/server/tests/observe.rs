@@ -118,3 +118,40 @@ fn recorder_captures_latency_and_trace() {
     assert!(per_kind[EventKind::ChunkAccepted.index()] > 0);
     assert!(per_kind[EventKind::Completed.index()] == 4 || trace.overwritten() > 0);
 }
+
+#[test]
+fn series_windows_tile_the_run_and_account_for_every_event() {
+    let (report, rec) = run_observed(Path::Ilp);
+    let series = rec.series();
+
+    // A real transfer spans several windows (default width 64 ticks).
+    assert!(series.len() > 1, "run should cross window boundaries");
+
+    // Windows tile virtual time in order without gaps or overlaps.
+    let wt = series.config().window_ticks;
+    let mut next_start = None;
+    for w in series.iter() {
+        if let Some(expect) = next_start {
+            assert_eq!(w.start_tick(wt), expect, "windows must tile contiguously");
+        }
+        next_start = Some(w.start_tick(wt) + w.ticks(wt));
+    }
+
+    // No counter delta or latency sample is lost to windowing: summing
+    // across windows reproduces the aggregate counters exactly.
+    let windowed_delivered: u64 = series.counter_values(Counter::ChunksDelivered).iter().sum();
+    assert_eq!(windowed_delivered, rec.counter(Counter::ChunksDelivered));
+    let windowed_retx: u64 = series.counter_values(Counter::Retransmits).iter().sum();
+    assert_eq!(windowed_retx, report.retransmits);
+    let windowed_lat: u64 = series.iter().map(|w| w.hist(Metric::ChunkLatencyTicks).count()).sum();
+    assert_eq!(windowed_lat, rec.hist(Metric::ChunkLatencyTicks).count());
+
+    // The windowed view is strictly finer than the aggregate: the
+    // delivery counter must not be concentrated in a single window.
+    let nonzero = series
+        .counter_values(Counter::ChunksDelivered)
+        .iter()
+        .filter(|&&v| v > 0)
+        .count();
+    assert!(nonzero > 1, "deliveries should spread across windows");
+}

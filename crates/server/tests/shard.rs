@@ -14,7 +14,12 @@ const TRACE_CAP: usize = 256;
 
 #[test]
 fn s1_sharded_run_is_byte_identical_to_unsharded() {
-    let cfg = ServerConfig { n_conns: 6, file_len: 8 * 1024, ..Default::default() };
+    // 64 KB per connection in 128-byte chunks runs ~128 scheduling
+    // rounds — well past one series window (64 virtual ticks) — so the
+    // series equality below compares real multi-window structure, not a
+    // single half-open window.
+    let cfg =
+        ServerConfig { n_conns: 6, file_len: 64 * 1024, chunk: 128, ..Default::default() };
 
     // The existing unsharded harness, observed.
     let mut space = AddressSpace::new();
@@ -47,6 +52,25 @@ fn s1_sharded_run_is_byte_identical_to_unsharded() {
         rec.to_json().render(),
         "merged S=1 recorder must reproduce the unsharded recorder"
     );
+
+    // The windowed series specifically: merging one shard's series into
+    // the fresh merge target must clone it wholesale, so every window
+    // boundary, coarsening level, and per-window histogram survives —
+    // not just the aggregate totals the render equality above implies.
+    let merged_series = sharded.merged.series();
+    let plain_series = rec.series();
+    assert_eq!(
+        merged_series.to_json().render(),
+        plain_series.to_json().render(),
+        "merged S=1 series must reproduce the unsharded series window-for-window"
+    );
+    assert_eq!(merged_series.len(), plain_series.len());
+    assert!(plain_series.len() > 1, "run must span several windows for this to mean anything");
+    let wt = plain_series.config().window_ticks;
+    for (a, b) in merged_series.iter().zip(plain_series.iter()) {
+        assert_eq!(a.start_tick(wt), b.start_tick(wt));
+        assert_eq!(a.ticks(wt), b.ticks(wt));
+    }
 }
 
 #[test]

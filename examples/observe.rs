@@ -11,6 +11,8 @@
 //! * latency histograms (send → accept in virtual ticks),
 //! * a per-packet event trace, reconstructed below as a timeline for
 //!   connection 0,
+//! * windowed time series (64-tick windows), rendered as sparklines of
+//!   delivery rate, retransmissions, and kernel queue depth,
 //! * a Prometheus-style text dump and a JSON run report
 //!   (`BENCH_observe.json`, schema-checked by `scripts/ci.sh`).
 //!
@@ -19,7 +21,7 @@
 //! ```
 
 use ilp_repro::memsim::{AddressSpace, HostModel, SimMem};
-use ilp_repro::obs::{Counter, Json, Layer, Metric, PathLabel, Recorder, Stage};
+use ilp_repro::obs::{sparkline, Counter, Json, Layer, Metric, PathLabel, Recorder, Stage};
 use ilp_repro::server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
 use ilp_repro::utcp::FaultPlan;
 
@@ -100,12 +102,25 @@ fn main() {
         );
         let lat = rec.hist(Metric::ChunkLatencyTicks);
         println!(
-            "  chunk latency (ticks, send → accept): p50={} p90={} p99={} max={} over {} chunks\n",
+            "  chunk latency (ticks, send → accept): p50={} p90={} p99={} max={} over {} chunks",
             lat.p50(),
             lat.p90(),
             lat.p99(),
             lat.max().unwrap_or(0),
             lat.count(),
+        );
+
+        // The windowed series as sparklines: each glyph is one retained
+        // window (64 virtual ticks; older windows are 2×-coarsened, so
+        // rates are normalised per base window).
+        let series = rec.series();
+        let wt = series.config().window_ticks;
+        println!("  per-{wt}-tick series ({} windows, oldest → newest):", series.len());
+        println!(
+            "    delivered  {}  retransmits {}  queue depth {}\n",
+            sparkline(&series.counter_rates(Counter::ChunksDelivered)),
+            sparkline(&series.counter_rates(Counter::Retransmits)),
+            sparkline(&series.metric_means(Metric::KernelQueueDepth)),
         );
     }
 

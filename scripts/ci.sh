@@ -24,6 +24,8 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_observe.js
     ilp:obj ilp.counters:obj ilp.counters.chunks_delivered:num \
     ilp.metrics.chunk_latency_ticks.p50:num ilp.metrics.chunk_latency_ticks.p99:num \
     ilp.work:obj ilp.trace.events:arr ilp.trace.events.0.tick:num \
+    ilp.series.window_ticks:num ilp.series.windows:arr \
+    ilp.series.windows.0.chunks_sent:num \
     non_ilp.counters.reject_checksum:num
 
 echo "== sharding: run the shard sweep and schema-check its report =="
@@ -34,5 +36,15 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_shard_scal
     points.0.wall_us:num points.0.mbps:num points.0.speedup_vs_1shard:num \
     points.0.max_shard_rounds:num points.0.per_shard_rounds:arr \
     table:obj
+
+echo "== server scale: run the connection sweep and schema-check its report =="
+cargo run -q --release --offline -p bench --bin exp_server_scale
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_server_scale.json \
+    experiment:str points:arr points.0.conns:num \
+    points.0.paths.ilp.mbps:num points.0.paths.ilp.rounds:num \
+    points.0.paths.ilp.cache.mem_accesses:num
+
+echo "== perf gate: fresh reports vs committed baselines (all metrics virtual-clock-deterministic) =="
+cargo run -q --release --offline -p bench --bin perf_gate
 
 echo "CI green."
