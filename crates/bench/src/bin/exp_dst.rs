@@ -1,0 +1,112 @@
+//! Deterministic simulation sweep as a tracked experiment.
+//!
+//! Runs the same seeded scenario sweep the `sim` crate's smoke test
+//! runs (seeded fault plans, per-tick TCP reference-model oracles,
+//! ILP ≡ non-ILP equivalence, obs conservation) and writes
+//! `BENCH_dst.json`. Every count in the report — fault mix, oracle
+//! evaluations, rounds, payload — is a pure function of the seed block,
+//! so the perf gate holds them bit-exact: a behaviour change anywhere
+//! in the stack (an extra retransmission, a changed rejection, a
+//! different fault draw) moves one of them and fails CI. Sweep
+//! throughput (`seeds_per_sec`) is wall-clock and report-only.
+//!
+//! Usage: `exp_dst [--seeds N] [--base SEED]` (defaults match the CI
+//! smoke block: 200 seeds from 0x11F95000).
+
+use bench::report::{banner, Table};
+use obs::Json;
+use sim::{sweep, SweepOpts};
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let mut opts = SweepOpts { base_seed: 0x11F9_5000, seeds: 200, inject_ring_bug: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = args.next().and_then(|v| parse_u64(&v));
+        match (a.as_str(), val) {
+            ("--seeds", Some(n)) => opts.seeds = n as usize,
+            ("--base", Some(b)) => opts.base_seed = b,
+            _ => {
+                eprintln!("usage: exp_dst [--seeds N] [--base SEED]");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    banner("Deterministic simulation sweep", "seeded faults, cross-layer oracles");
+    let start = std::time::Instant::now();
+    let rep = sweep(&opts);
+    let wall_us = (start.elapsed().as_micros() as u64).max(1);
+
+    if let Some(f) = &rep.failure {
+        eprintln!("seed sweep FAILED after {} seeds: {}", rep.seeds_run, f.message);
+        eprintln!("original scenario: {:?}", f.scenario);
+        eprintln!("shrunk reproducer:\n{}", f.test_case);
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let seeds_per_sec = rep.passed as f64 / (wall_us as f64 / 1e6);
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["seeds".into(), format!("{} from {:#x}", opts.seeds, opts.base_seed)]);
+    table.row(vec![
+        "kind mix (ring/transfer/sharded)".into(),
+        format!("{}/{}/{}", rep.kind_counts[0], rep.kind_counts[1], rep.kind_counts[2]),
+    ]);
+    table.row(vec![
+        "faults (drop/dup/reorder/corrupt/delay)".into(),
+        format!(
+            "{}/{}/{}/{}/{}",
+            rep.faults.dropped,
+            rep.faults.duplicated,
+            rep.faults.reordered,
+            rep.faults.corrupted,
+            rep.faults.delayed
+        ),
+    ]);
+    table.row(vec!["oracle checks".into(), rep.oracle_checks.to_string()]);
+    table.row(vec!["scheduling rounds".into(), rep.rounds.to_string()]);
+    table.row(vec!["payload bytes".into(), rep.payload_bytes.to_string()]);
+    table.row(vec!["retransmits".into(), rep.retransmits.to_string()]);
+    table.row(vec!["seeds/sec (wall)".into(), format!("{seeds_per_sec:.0}")]);
+    table.print();
+
+    let report = Json::obj()
+        .set("experiment", Json::Str("dst".into()))
+        .set("base_seed", Json::U64(opts.base_seed))
+        .set("seeds", Json::U64(opts.seeds as u64))
+        .set("passed", Json::U64(rep.passed as u64))
+        .set(
+            "kind_counts",
+            Json::Arr(rep.kind_counts.iter().map(|&k| Json::U64(k as u64)).collect()),
+        )
+        .set(
+            "faults",
+            Json::obj()
+                .set("dropped", Json::U64(rep.faults.dropped))
+                .set("duplicated", Json::U64(rep.faults.duplicated))
+                .set("reordered", Json::U64(rep.faults.reordered))
+                .set("corrupted", Json::U64(rep.faults.corrupted))
+                .set("delayed", Json::U64(rep.faults.delayed)),
+        )
+        .set("oracle_checks", Json::U64(rep.oracle_checks))
+        .set("rounds", Json::U64(rep.rounds))
+        .set("payload_bytes", Json::U64(rep.payload_bytes))
+        .set("retransmits", Json::U64(rep.retransmits))
+        .set("wall_us", Json::U64(wall_us))
+        .set("seeds_per_sec", Json::F64(seeds_per_sec));
+    let out = std::path::Path::new("BENCH_dst.json");
+    match obs::write_report(out, &report) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => {
+            eprintln!("\nfailed to write {}: {e}", out.display());
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}

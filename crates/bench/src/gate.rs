@@ -130,6 +130,32 @@ pub fn manifest() -> Vec<FileManifest> {
                 Check::new("points.5.gain_pct", Policy::ReportOnly),
             ],
         },
+        FileManifest {
+            file: "BENCH_dst.json",
+            checks: vec![
+                // The whole sweep is seed-deterministic: scenario mix,
+                // injected fault mix, oracle evaluation counts, and the
+                // simulated work all gate bit-exact. Any behaviour
+                // change in the stack under faults (one extra
+                // retransmission anywhere in 200 seeds) moves these.
+                e("base_seed"),
+                e("seeds"),
+                e("passed"),
+                e("kind_counts.0"),
+                e("kind_counts.1"),
+                e("kind_counts.2"),
+                e("faults.dropped"),
+                e("faults.duplicated"),
+                e("faults.reordered"),
+                e("faults.corrupted"),
+                e("faults.delayed"),
+                e("oracle_checks"),
+                e("rounds"),
+                e("payload_bytes"),
+                e("retransmits"),
+                Check::new("seeds_per_sec", Policy::ReportOnly),
+            ],
+        },
     ]
 }
 

@@ -1,95 +1,49 @@
-//! Small deterministic PRNG for experiment workloads and tests.
+//! Deterministic PRNG for experiment workloads and tests.
 //!
-//! The container this repo builds in has no registry access, so the
-//! workspace cannot depend on the `rand` crate. Everything that needs
-//! randomness — fault-plan jitter, corruption fuzzing, workload skew —
-//! uses this xorshift64* generator instead: tiny, seedable, and
-//! identical on every platform, which is exactly what reproducible
-//! experiments want anyway.
+//! The implementation lives in [`utcp::rng`] — the kernel part's seeded
+//! fault-plan mode draws from the same stream type, and keeping one
+//! implementation in the lowest crate that needs it guarantees every
+//! layer agrees on the bit sequence a seed produces. This module
+//! re-exports it under the historical `bench::rng` path used by the
+//! experiment binaries.
 
-/// A xorshift64* generator (Vigna 2016). Passes BigCrush's small-state
-/// tier; more than enough to decorrelate fault plans and payload
-/// patterns.
-#[derive(Debug, Clone)]
-pub struct XorShift64 {
-    state: u64,
-}
-
-impl XorShift64 {
-    /// Seed the generator. A zero seed is mapped to a fixed non-zero
-    /// constant (xorshift has a zero fixed point).
-    pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
-    }
-
-    /// Next 64 uniformly distributed bits.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Next 32 bits (upper half of the 64-bit output, which has the
-    /// better-mixed bits).
-    pub fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        debug_assert!(bound > 0);
-        // Multiply-shift reduction (Lemire); bias is < 2^-32 for the
-        // bounds used here, irrelevant for workload generation.
-        ((u128::from(self.next_u64() >> 32) * u128::from(bound)) >> 32) as u64
-    }
-
-    /// Uniform `usize` in `[0, bound)`.
-    pub fn index(&mut self, bound: usize) -> usize {
-        self.below(bound as u64) as usize
-    }
-}
+pub use utcp::rng::XorShift64;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn deterministic_across_instances() {
-        let mut a = XorShift64::new(42);
-        let mut b = XorShift64::new(42);
-        for _ in 0..100 {
+    fn reexported_stream_matches_the_utcp_stream() {
+        // The whole point of the re-export: one seed, one sequence,
+        // regardless of which crate's path named the generator.
+        let mut a = XorShift64::new(0xC0FFEE);
+        let mut b = utcp::rng::XorShift64::new(0xC0FFEE);
+        for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
     #[test]
-    fn zero_seed_is_remapped() {
-        let mut r = XorShift64::new(0);
-        assert_ne!(r.next_u64(), 0);
-    }
-
-    #[test]
-    fn below_respects_bound() {
-        let mut r = XorShift64::new(7);
-        for bound in [1u64, 2, 3, 10, 1000] {
-            for _ in 0..200 {
-                assert!(r.below(bound) < bound);
-            }
+    fn forked_component_streams_are_independent_and_reproducible() {
+        // Experiment binaries fork one stream per component (workload,
+        // fault plan, payload fuzz) from a single root seed. Drawing
+        // from one component must never shift a sibling's sequence.
+        let root = XorShift64::new(2024);
+        let mut workload = root.fork(0);
+        let mut faults = root.fork(1);
+        let w: Vec<u64> = (0..16).map(|_| workload.next_u64()).collect();
+        let f: Vec<u64> = (0..16).map(|_| faults.next_u64()).collect();
+        assert_ne!(w, f);
+        // Re-derive faults after the workload stream was (re-)drained:
+        // identical, because forks anchor to the root state.
+        let root2 = XorShift64::new(2024);
+        let mut workload2 = root2.fork(0);
+        for _ in 0..1000 {
+            let _ = workload2.next_u64();
         }
-    }
-
-    #[test]
-    fn rough_uniformity() {
-        let mut r = XorShift64::new(123);
-        let mut buckets = [0u32; 8];
-        for _ in 0..8000 {
-            buckets[r.index(8)] += 1;
-        }
-        for b in buckets {
-            assert!((700..1300).contains(&b), "bucket count {b} far from 1000");
-        }
+        let mut faults2 = root2.fork(1);
+        let f2: Vec<u64> = (0..16).map(|_| faults2.next_u64()).collect();
+        assert_eq!(f, f2);
     }
 }

@@ -216,6 +216,7 @@ pub struct ReplyUnmarshalSink {
     prefix: [u32; 1 + RPC_HDR_WORDS],
     words_seen: usize,
     data_written: usize,
+    anchored: bool,
 }
 
 impl ReplyUnmarshalSink {
@@ -229,7 +230,18 @@ impl ReplyUnmarshalSink {
             prefix: [0; 1 + RPC_HDR_WORDS],
             words_seen: 0,
             data_written: 0,
+            anchored: false,
         }
+    }
+
+    /// Deliver into a linear staging buffer at `addr`, ignoring the
+    /// header's placement offset. Receive-side pre-manipulation
+    /// (paper §3.2.2): when a segment's verdict is not yet known and it
+    /// cannot be the next in-order one, the fused pass must still run
+    /// (the checksum feeds the ACK decision) but must not place bytes
+    /// into application memory a reject would then have to roll back.
+    pub fn staging(addr: usize, cap: usize) -> Self {
+        ReplyUnmarshalSink { anchored: true, ..ReplyUnmarshalSink::new(addr, cap) }
     }
 
     /// The captured prefix words (valid once at least
@@ -268,7 +280,10 @@ impl<M: Mem> UnitSink<M> for ReplyUnmarshalSink {
             if self.data_written >= declared {
                 continue;
             }
-            let offset = self.prefix[3] as usize; // file offset from the RPC header
+            // File offset from the RPC header; a staging sink writes
+            // linearly instead (the header offset points into a file
+            // this buffer does not hold).
+            let offset = if self.anchored { 0 } else { self.prefix[3] as usize };
             let want = (declared - self.data_written).min(4);
             assert!(
                 offset + self.data_written + want <= self.app_cap,

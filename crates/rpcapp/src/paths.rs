@@ -267,7 +267,14 @@ pub fn recv_reply_ilp<C: CipherKernel + Copy, M: Mem>(s: &mut Suite<C>, m: &mut 
     // Integrated stage: checksum over the ciphertext, then decrypt, then
     // unmarshal into the application buffer — one pass.
     let mut stages = Fused::new(ChecksumTap::new(), DecryptStage::new(s.cipher));
-    let mut sink = ReplyUnmarshalSink::new(s.app_out.base, s.app_out.len);
+    // Out-of-order segments will be rejected in the final stage; run
+    // the fused pass into staging (§3.2.2 pre-manipulation) so a stale
+    // corrupted retransmission cannot scribble on delivered app bytes.
+    let mut sink = if d.in_order {
+        ReplyUnmarshalSink::new(s.app_out.base, s.app_out.len)
+    } else {
+        ReplyUnmarshalSink::staging(s.staging.base, s.staging.len)
+    };
     let mut source = OpaqueSource::new(d.payload_addr, d.payload_len);
     ilp_run(m, &mut source, &mut stages, &mut sink, 1, Some(s.code_ilp_recv))
         .expect("negotiated unit fits registers");

@@ -64,6 +64,7 @@ fn reject_counter(r: &Reject) -> Counter {
 /// Per-run bookkeeping the observer needs but the protocol does not:
 /// the virtual tick each chunk was first handed to the transport, so
 /// acceptance can be turned into an end-to-end latency sample.
+#[derive(Debug)]
 struct ObsState {
     /// `send_tick[conn][chunk_seq]`, `u64::MAX` = not sent yet.
     send_tick: Vec<Vec<u64>>,
@@ -80,6 +81,14 @@ impl ObsState {
         };
         ObsState { send_tick }
     }
+}
+
+/// Progress state of a steppable run — see [`ScaleHarness::begin_run`].
+#[derive(Debug)]
+pub struct RunState {
+    st: ObsState,
+    last_progress: u64,
+    bytes_seen: u64,
 }
 
 /// The server's IP address.
@@ -143,6 +152,9 @@ pub struct ServerConfig {
     pub weights: Vec<u32>,
     /// Fault plan installed on the shared kernel part.
     pub faults: FaultPlan,
+    /// Send/retransmission ring capacity per server connection, bytes.
+    /// The simulation scenarios shrink this to force tail wraps.
+    pub ring_capacity: usize,
     /// Hard bound on scheduling rounds.
     pub max_rounds: u64,
 }
@@ -156,6 +168,7 @@ impl Default for ServerConfig {
             chunk: 1024,
             weights: Vec::new(),
             faults: FaultPlan::default(),
+            ring_capacity: 8 * 1024,
             max_rounds: 200_000,
         }
     }
@@ -269,7 +282,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
                 peer_port: client_data_port(g),
                 local_ip: SERVER_IP,
                 peer_ip: client_ip(g),
-                ring_capacity: 8 * 1024,
+                ring_capacity: cfg.ring_capacity,
                 ..Default::default()
             };
             let tx = Connection::new(space, &mut lb, tx_cfg, server_iss(g));
@@ -379,35 +392,67 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
         path: Path,
         obs: &mut O,
     ) -> AggregateReport {
-        let n = self.table.len();
-        let chunks_per_conn: Vec<usize> = self.table.iter().map(|s| s.chunks_total()).collect();
-        let mut st = ObsState::new::<O>(&chunks_per_conn);
-        let mut last_progress = 0u64;
-        let mut bytes_seen = 0u64;
-        loop {
-            let now = self.clock.advance();
-            if O::ENABLED {
-                obs.tick(now);
-            }
-            self.drive_handshakes(m, now, obs);
-            self.drive_sends(m, sched, path, n, now, obs, &mut st);
-            self.drive_receives(m, path, n, now, obs, &st);
-            self.settle_round(m, now, n, path, obs);
+        let mut run = self.begin_run::<O>();
+        while self.step(m, sched, path, obs, &mut run) {}
+        self.finish_run(obs, sched.name())
+    }
 
-            if self.table.iter().all(|s| s.state == SessionState::Done) {
-                break;
-            }
-            let total: u64 = self.clients.iter().map(|c| c.bytes).sum();
-            if total > bytes_seen {
-                bytes_seen = total;
-                last_progress = now;
-            }
-            assert!(
-                now - last_progress < STALL_LIMIT,
-                "no progress for {STALL_LIMIT} rounds ({bytes_seen} bytes delivered)"
-            );
-            assert!(now < self.cfg.max_rounds, "exceeded max_rounds {}", self.cfg.max_rounds);
+    /// Start a steppable run (the deterministic simulation runner drives
+    /// [`ScaleHarness::step`] directly so it can interpose oracle checks
+    /// between rounds; [`ScaleHarness::run_observed`] is exactly
+    /// `begin_run` + `step` until done + `finish_run`).
+    pub fn begin_run<O: SpanObserver>(&mut self) -> RunState {
+        let chunks_per_conn: Vec<usize> = self.table.iter().map(|s| s.chunks_total()).collect();
+        RunState { st: ObsState::new::<O>(&chunks_per_conn), last_progress: 0, bytes_seen: 0 }
+    }
+
+    /// Execute one scheduling round. Returns `false` once every transfer
+    /// is done.
+    ///
+    /// # Panics
+    /// Same stall / `max_rounds` conditions as [`ScaleHarness::run`].
+    pub fn step<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        sched: &mut dyn Scheduler,
+        path: Path,
+        obs: &mut O,
+        run: &mut RunState,
+    ) -> bool {
+        let n = self.table.len();
+        let now = self.clock.advance();
+        if O::ENABLED {
+            obs.tick(now);
         }
+        self.drive_handshakes(m, now, obs);
+        self.drive_sends(m, sched, path, n, now, obs, &mut run.st);
+        self.drive_receives(m, path, n, now, obs, &run.st);
+        self.settle_round(m, now, n, path, obs);
+
+        if self.table.iter().all(|s| s.state == SessionState::Done) {
+            return false;
+        }
+        let total: u64 = self.clients.iter().map(|c| c.bytes).sum();
+        if total > run.bytes_seen {
+            run.bytes_seen = total;
+            run.last_progress = now;
+        }
+        assert!(
+            now - run.last_progress < STALL_LIMIT,
+            "no progress for {STALL_LIMIT} rounds ({} bytes delivered)",
+            run.bytes_seen
+        );
+        assert!(now < self.cfg.max_rounds, "exceeded max_rounds {}", self.cfg.max_rounds);
+        true
+    }
+
+    /// Close out a steppable run: flush kernel-part totals to the
+    /// observer and assemble the report.
+    pub fn finish_run<O: SpanObserver>(
+        &mut self,
+        obs: &mut O,
+        scheduler: &'static str,
+    ) -> AggregateReport {
         if O::ENABLED {
             // Kernel-part totals are cheapest to read once at the end;
             // they are cumulative over the whole run.
@@ -415,7 +460,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
             obs.count(Counter::FaultCorruptions, self.lb.corrupted);
             obs.count(Counter::Unroutable, self.lb.unroutable);
         }
-        self.report(sched.name())
+        self.report(scheduler)
     }
 
     /// Step 1: SYN retries, accepts, SYN-ACK completion.
@@ -746,6 +791,34 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
             }
         }
         None
+    }
+
+    /// Mid-run prefix check for the simulation oracle: the first `bytes`
+    /// output bytes of client `i` must already equal its file pattern —
+    /// in-order delivery means a transfer is correct at every moment,
+    /// not just at the end.
+    pub fn verify_output_prefix<M: Mem>(&self, m: &mut M, i: usize, bytes: usize) -> bool {
+        let c = &self.clients[i];
+        let limit = bytes.min(self.cfg.file_len);
+        (0..limit).all(|j| m.read_u8(c.app_out.at(j)) == file_pattern(self.cfg.conn_base + i, j))
+    }
+
+    /// Client `i`'s receive-side connection (read-only; simulation
+    /// oracles inspect `rcv_nxt` and the ring).
+    pub fn client_rx(&self, i: usize) -> &Connection {
+        &self.clients[i].rx
+    }
+
+    /// Client `i`'s delivered payload bytes, accepted chunks, and
+    /// rejected segments so far.
+    pub fn client_progress(&self, i: usize) -> (u64, u64, u64) {
+        let c = &self.clients[i];
+        (c.bytes, c.chunks, c.rejected)
+    }
+
+    /// Whether client `i` completed its handshake.
+    pub fn client_established(&self, i: usize) -> bool {
+        self.clients[i].established
     }
 }
 

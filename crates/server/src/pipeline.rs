@@ -38,6 +38,10 @@ pub struct Scratch {
     pub encrypt_buf: Region,
     /// Non-ILP: decryption output buffer.
     pub decrypt_buf: Region,
+    /// ILP receive: staging for segments that are not the next in-order
+    /// one (§3.2.2 pre-manipulation — their fused pass must not touch
+    /// application memory, since the final stage will reject them).
+    pub recv_staging: Region,
     /// Fused send loop footprint.
     pub code_ilp_send: CodeRegion,
     /// Fused receive loop footprint.
@@ -63,6 +67,7 @@ impl Scratch {
             marshal_buf: space.alloc_kind("marshal_buf", MAX_MSG, 8, RegionKind::Buffer),
             encrypt_buf: space.alloc_kind("encrypt_buf", MAX_MSG, 8, RegionKind::Buffer),
             decrypt_buf: space.alloc_kind("decrypt_buf", MAX_MSG, 8, RegionKind::Buffer),
+            recv_staging: space.alloc_kind("recv_staging", MAX_MSG, 8, RegionKind::Buffer),
             code_ilp_send: space.alloc_code("ilp_send_loop", 240 + 480 + 96 + 120),
             code_ilp_recv: space.alloc_code("ilp_recv_loop", 280 + 560 + 96 + 120),
             code_marshal: space.alloc_code("marshal_loop", 240),
@@ -383,7 +388,17 @@ pub fn recv_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
         |_m| Ok(d),
         |m, d| {
             let mut stages = Fused::new(ChecksumTap::new(), DecryptStage::new(cipher));
-            let mut sink = ReplyUnmarshalSink::new(app_out.base, app_out.len);
+            // An out-of-order or duplicate segment is certain to be
+            // rejected by the final stage — the fused pass still runs
+            // in full (its checksum drives the repeat-ACK decision) but
+            // unmarshals into staging so a stale retransmission that
+            // was corrupted in flight cannot scribble over bytes the
+            // application already owns.
+            let mut sink = if d.in_order {
+                ReplyUnmarshalSink::new(app_out.base, app_out.len)
+            } else {
+                ReplyUnmarshalSink::staging(s.recv_staging.base, s.recv_staging.len)
+            };
             let mut source = OpaqueSource::new(d.payload_addr, d.payload_len);
             ilp_run(m, &mut source, &mut stages, &mut sink, 1, Some(code))
                 .expect("negotiated unit fits registers");

@@ -20,7 +20,7 @@ use memsim::NativeMem;
 use server::{
     AggregateReport, Path, RoundRobin, ScaleHarness, ServerConfig, SessionState, WorldInit,
 };
-use utcp::FaultPlan;
+use utcp::{FaultPlan, FaultProbs};
 
 /// Build, run and verify one configuration; panics on cross-talk.
 fn run_verified(cfg: ServerConfig, path: Path) -> AggregateReport {
@@ -105,6 +105,67 @@ fn demux_survives_corruption_and_duplication() {
         report.rejected + report.retransmits > 0,
         "bit flips must be caught by the checksum, not absorbed"
     );
+}
+
+#[test]
+fn demux_survives_all_four_faults_at_once() {
+    // Drop, duplicate, reorder and corrupt simultaneously, on both
+    // paths. The periods are pairwise co-prime, so over a run every
+    // combination of coincident faults occurs (a duplicated corrupt
+    // segment, a reordered drop survivor, ...).
+    for path in [Path::Ilp, Path::NonIlp] {
+        let cfg = ServerConfig {
+            n_conns: 4,
+            file_len: 4 * 1024,
+            chunk: 512,
+            faults: FaultPlan {
+                drop_every: 9,
+                dup_every: 7,
+                reorder_every: 5,
+                corrupt_every: 11,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_verified(cfg, path);
+        assert_eq!(report.payload_bytes, 4 * 4 * 1024, "{path:?}");
+        assert!(report.retransmits > 0, "drops must force retransmission ({path:?})");
+        assert!(report.corrupted > 0, "corruption plan must have fired ({path:?})");
+        assert!(report.rejected > 0, "bit flips must be rejected, not absorbed ({path:?})");
+    }
+}
+
+#[test]
+fn demux_survives_a_seeded_probabilistic_fault_storm() {
+    // The seeded mode arms every fault class at once — including delay,
+    // which the deterministic every-Nth knobs do not cover — and a
+    // fixed dice seed makes the storm reproducible.
+    let probs = FaultProbs { drop: 2500, dup: 2500, reorder: 2500, corrupt: 2500, delay: 1200 };
+    let cfg = ServerConfig {
+        n_conns: 4,
+        file_len: 4 * 1024,
+        chunk: 512,
+        faults: FaultPlan::seeded(7, probs),
+        ..Default::default()
+    };
+    let n = cfg.n_conns;
+    let file_len = cfg.file_len as u64;
+    let mut space = AddressSpace::new();
+    let mut h = ScaleHarness::simplified(&mut space, cfg);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut sched = RoundRobin::new();
+    let report = h.run(&mut m, &mut sched, Path::Ilp);
+    assert_eq!(h.verify_outputs(&mut m), None, "fault storm corrupted a client file");
+    assert_eq!(report.payload_bytes, n as u64 * file_len);
+    assert!(h.lb.dropped > 0, "drop dice never fired");
+    assert!(h.lb.duplicated > 0, "dup dice never fired");
+    assert!(h.lb.reordered > 0, "reorder dice never fired");
+    assert!(h.lb.corrupted > 0, "corrupt dice never fired");
+    assert!(h.lb.delayed_count > 0, "delay dice never fired");
+    assert_eq!(h.lb.delayed_pending(), 0, "all delayed datagrams released");
+    assert!(report.retransmits > 0, "a storm at this rate must force retransmissions");
 }
 
 #[test]

@@ -1,0 +1,153 @@
+//! Cross-layer oracles: properties checked *while* a simulation runs.
+//!
+//! The reference model is deliberately simple — TCP over a loop-back
+//! with faults must still behave like a reliable in-order byte pipe, so
+//! at every virtual tick:
+//!
+//! * **prefix-exact delivery** (the in-memory TCP reference): the bytes
+//!   a client has delivered so far must equal the leading prefix of the
+//!   file the server is sending it — not just "the final file is
+//!   right", but *right at every moment*;
+//! * **sequence-counter sanity**: `snd_una`, `snd_nxt`, `rcv_nxt` only
+//!   move forward (wrapping-monotone), and `snd_una` never passes
+//!   `snd_nxt`;
+//! * **window invariant**: flight size never exceeds the peer's
+//!   advertised window (the kernel part never shrinks a window
+//!   mid-run, so this holds unconditionally here);
+//! * **ring accounting**: flight size equals the retransmission ring's
+//!   buffered data bytes, and the ring's structural invariants
+//!   ([`utcp::SendRing::check_invariants`]) hold;
+//! * **conservation** (post-run): every observability counter equals
+//!   the sum of its windowed time series — nothing the recorder counted
+//!   leaks out of (or into) the series on window seals or merges.
+
+use cipher::SimplifiedSafer;
+use memsim::Mem;
+use obs::{Counter, Recorder};
+use server::ScaleHarness;
+
+/// Per-connection previous values for the monotonicity checks.
+#[derive(Debug, Clone, Copy, Default)]
+struct ConnPrev {
+    snd_una: u32,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    bytes: u64,
+    established: bool,
+}
+
+/// Tracks one harness across ticks and counts the oracle evaluations.
+/// Previous values start as `None`: initial sequence numbers are
+/// arbitrary, so monotonicity only means anything from the second
+/// observation on.
+#[derive(Debug)]
+pub struct Tracker {
+    prev: Vec<Option<ConnPrev>>,
+    /// Individual oracle evaluations performed (reported by the sweep —
+    /// a sweep that silently checked nothing would read as all-green).
+    pub checks: u64,
+}
+
+/// Wrapping-monotone: `now` is at or after `prev` in sequence space.
+fn advanced(prev: u32, now: u32) -> bool {
+    (now.wrapping_sub(prev) as i32) >= 0
+}
+
+impl Tracker {
+    /// Start tracking a world of `n_conns` connections.
+    pub fn new(n_conns: usize) -> Tracker {
+        Tracker { prev: vec![None; n_conns], checks: 0 }
+    }
+
+    /// Run the per-tick oracles. `deep` additionally re-reads every
+    /// client's delivered prefix from memory (quadratic over a run, so
+    /// the runner samples it every few ticks and always at the end).
+    pub fn check<M: Mem>(
+        &mut self,
+        h: &ScaleHarness<SimplifiedSafer>,
+        m: &mut M,
+        deep: bool,
+    ) -> Result<(), String> {
+        for (i, id) in h.table.ids().enumerate() {
+            let sess = h.table.get(id);
+            let tx = &sess.tx;
+            let rx0 = h.client_rx(i);
+            let prev = self.prev[i].get_or_insert(ConnPrev {
+                snd_una: tx.snd_una(),
+                snd_nxt: tx.snd_nxt(),
+                rcv_nxt: rx0.rcv_nxt(),
+                bytes: 0,
+                established: false,
+            });
+
+            if !advanced(prev.snd_una, tx.snd_una()) {
+                return Err(format!("conn {i}: snd_una went backwards"));
+            }
+            if !advanced(prev.snd_nxt, tx.snd_nxt()) {
+                return Err(format!("conn {i}: snd_nxt went backwards"));
+            }
+            if !advanced(tx.snd_una(), tx.snd_nxt()) {
+                return Err(format!("conn {i}: snd_una passed snd_nxt"));
+            }
+            let in_flight = tx.in_flight() as usize;
+            if in_flight != tx.ring().buffered_bytes() {
+                return Err(format!(
+                    "conn {i}: in_flight {in_flight} != ring buffered {}",
+                    tx.ring().buffered_bytes()
+                ));
+            }
+            if in_flight > usize::from(tx.peer_window()) {
+                return Err(format!(
+                    "conn {i}: in_flight {in_flight} exceeds advertised window {}",
+                    tx.peer_window()
+                ));
+            }
+            tx.ring().check_invariants().map_err(|e| format!("conn {i}: server ring: {e}"))?;
+
+            let rx = h.client_rx(i);
+            // rcv_nxt is re-seeded by `set_peer_iss` when the handshake
+            // completes; monotonicity only holds once established.
+            if h.client_established(i) && prev.established && !advanced(prev.rcv_nxt, rx.rcv_nxt())
+            {
+                return Err(format!("conn {i}: rcv_nxt went backwards"));
+            }
+            let (bytes, _chunks, _rejected) = h.client_progress(i);
+            if bytes < prev.bytes {
+                return Err(format!("conn {i}: delivered bytes shrank"));
+            }
+            if deep && !h.verify_output_prefix(m, i, bytes as usize) {
+                return Err(format!(
+                    "conn {i}: delivered prefix diverges from the file pattern at ≤ {bytes} bytes"
+                ));
+            }
+
+            prev.snd_una = tx.snd_una();
+            prev.snd_nxt = tx.snd_nxt();
+            prev.rcv_nxt = rx.rcv_nxt();
+            prev.bytes = bytes;
+            prev.established = h.client_established(i);
+            self.checks += 7 + u64::from(deep);
+        }
+        Ok(())
+    }
+}
+
+/// Post-run conservation between a recorder's counters and its windowed
+/// time series: summing a counter over every retained window (the
+/// coarsening folds exactly, see `obs::timeseries`) must reproduce the
+/// counter total.
+pub fn check_conservation(rec: &Recorder) -> Result<u64, String> {
+    let mut checks = 0u64;
+    for c in Counter::ALL {
+        let windows: u64 = rec.series().iter().map(|w| w.counter(c)).sum();
+        if windows != rec.counter(c) {
+            return Err(format!(
+                "counter {} = {} but its series sums to {windows}",
+                c.name(),
+                rec.counter(c)
+            ));
+        }
+        checks += 1;
+    }
+    Ok(checks)
+}

@@ -1,0 +1,119 @@
+//! Greedy scenario shrinking: find a smaller scenario that still fails.
+//!
+//! No generic shrinking framework — the scenario space is small and
+//! known, so the shrinker proposes a fixed candidate ladder (simpler
+//! kind, fewer connections, shorter file, individual fault knobs
+//! zeroed, magnitudes halved, plain scheduling) and greedily accepts
+//! any candidate that still fails, restarting the ladder from the new
+//! best. Each accepted step strictly reduces a size measure, and the
+//! total number of runs is budget-bounded, so shrinking always
+//! terminates. The result replays deterministically: a scenario *is*
+//! its field values plus its seed.
+
+use crate::runner::{run_caught, RunOptions};
+use crate::scenario::{Scenario, ScenarioKind};
+
+/// Max scenario executions a shrink may spend.
+const BUDGET: usize = 64;
+
+/// The candidate ladder, simplest-first for each dimension.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if sc.kind == ScenarioKind::Sharded {
+        out.push(Scenario { kind: ScenarioKind::Transfer, ..*sc });
+    }
+    let min_conns = if sc.kind == ScenarioKind::Sharded { 2 } else { 1 };
+    if sc.n_conns > min_conns {
+        out.push(Scenario { n_conns: (sc.n_conns / 2).max(min_conns), ..*sc });
+        out.push(Scenario { n_conns: sc.n_conns - 1, ..*sc });
+    }
+    if sc.file_len > sc.chunk {
+        out.push(Scenario { file_len: (sc.file_len / 2).max(sc.chunk), ..*sc });
+    }
+    if sc.deficit {
+        out.push(Scenario { deficit: false, ..*sc });
+    }
+    // Zero whole fault knobs before halving magnitudes: removing a
+    // fault kind entirely is a much bigger simplification.
+    let p = sc.probs;
+    for zeroed in [
+        Scenario { probs: utcp::FaultProbs { drop: 0, ..p }, ..*sc },
+        Scenario { probs: utcp::FaultProbs { dup: 0, ..p }, ..*sc },
+        Scenario { probs: utcp::FaultProbs { reorder: 0, ..p }, ..*sc },
+        Scenario { probs: utcp::FaultProbs { corrupt: 0, ..p }, ..*sc },
+        Scenario { probs: utcp::FaultProbs { delay: 0, ..p }, ..*sc },
+    ] {
+        if zeroed.probs != p {
+            out.push(zeroed);
+        }
+    }
+    let halved = utcp::FaultProbs {
+        drop: p.drop / 2,
+        dup: p.dup / 2,
+        reorder: p.reorder / 2,
+        corrupt: p.corrupt / 2,
+        delay: p.delay / 2,
+    };
+    if halved != p {
+        out.push(Scenario { probs: halved, ..*sc });
+    }
+    out
+}
+
+/// Shrink a failing scenario. Returns the smallest still-failing
+/// scenario found within the budget and the failure message it
+/// produced. (If the input unexpectedly passes on re-run — it cannot,
+/// runs are deterministic — it is returned unchanged.)
+pub fn shrink(sc: &Scenario, opts: &RunOptions) -> (Scenario, String) {
+    let mut best = *sc;
+    let mut message = match run_caught(&best, opts) {
+        Err(e) => e,
+        Ok(_) => return (best, "original scenario passed on re-run".to_string()),
+    };
+    let mut budget = BUDGET;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if budget == 0 {
+                return (best, message);
+            }
+            budget -= 1;
+            if let Err(e) = run_caught(&cand, opts) {
+                best = cand;
+                message = e;
+                improved = true;
+                break; // restart the ladder from the new best
+            }
+        }
+        if !improved {
+            return (best, message);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_candidates_are_strictly_simpler() {
+        let sc = Scenario::from_seed(1234);
+        for cand in candidates(&sc) {
+            let simpler = cand.n_conns < sc.n_conns
+                || cand.file_len < sc.file_len
+                || (sc.deficit && !cand.deficit)
+                || (sc.kind == ScenarioKind::Sharded && cand.kind == ScenarioKind::Transfer)
+                || probs_sum(&cand) < probs_sum(&sc);
+            assert!(simpler, "candidate {cand:?} does not simplify {sc:?}");
+        }
+    }
+
+    fn probs_sum(sc: &Scenario) -> u32 {
+        let p = sc.probs;
+        u32::from(p.drop)
+            + u32::from(p.dup)
+            + u32::from(p.reorder)
+            + u32::from(p.corrupt)
+            + u32::from(p.delay)
+    }
+}

@@ -1,0 +1,33 @@
+//! Mutation test: re-introduce the historical saturated-tail ring-wrap
+//! bug (shipped before PR 3, now behind the test-only
+//! `SendRing::inject_legacy_wrap_bug` hook) and prove the sweep's
+//! oracles catch it inside the CI seed budget. An oracle set that
+//! cannot re-find a real, previously-shipped bug is decoration.
+
+use sim::{run_caught, sweep, RunOptions, SweepOpts};
+
+#[test]
+fn sweep_catches_the_legacy_ring_wrap_bug() {
+    // Same base seed block CI sweeps, mutation switched on.
+    let opts = SweepOpts { base_seed: 0x11F9_5000, seeds: 200, inject_ring_bug: true };
+    let rep = sweep(&opts);
+    let f = rep.failure.expect("the sweep must catch the injected ring bug within 200 seeds");
+    assert!(
+        f.message.contains("ring") || f.message.contains("extent"),
+        "failure should implicate the ring: {}",
+        f.message
+    );
+
+    // The shrunk reproducer still fails — deterministically, with the
+    // mutation on — and the rendered test case pins the seed.
+    let bug = RunOptions { inject_ring_bug: true };
+    let replay = run_caught(&f.shrunk, &bug).expect_err("shrunk scenario must still fail");
+    let again = run_caught(&f.shrunk, &bug).expect_err("and fail identically on replay");
+    assert_eq!(replay, again, "reproducer is not deterministic");
+    assert!(f.test_case.contains("#[test]"));
+    assert!(f.test_case.contains(&format!("seed: {:#x}", f.shrunk.seed)), "{}", f.test_case);
+
+    // Without the mutation the same scenario is clean: the failure is
+    // the bug's, not the scenario's.
+    run_caught(&f.shrunk, &RunOptions::default()).expect("clean code passes the reproducer");
+}

@@ -287,6 +287,29 @@ impl Connection {
         self.snd_nxt.wrapping_sub(self.snd_una)
     }
 
+    /// Next sequence number expected from the peer.
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+
+    /// The peer's last advertised receive window.
+    pub fn peer_window(&self) -> u16 {
+        self.peer_window
+    }
+
+    /// Read-only view of the send/retransmission ring (simulation
+    /// oracles check its invariants against the sequence counters).
+    pub fn ring(&self) -> &SendRing {
+        &self.ring
+    }
+
+    /// Test-only passthrough to
+    /// [`SendRing::inject_legacy_wrap_bug`](crate::ring::SendRing::inject_legacy_wrap_bug).
+    #[doc(hidden)]
+    pub fn inject_legacy_wrap_bug(&mut self, on: bool) {
+        self.ring.inject_legacy_wrap_bug(on);
+    }
+
     /// The receive-staging region (the ILP receive loop reads from here).
     pub fn recv_region(&self) -> Region {
         self.recv

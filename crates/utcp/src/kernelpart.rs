@@ -11,9 +11,18 @@
 //! receiving endpoint (whose receive-side system copy is performed by
 //! the connection).
 //!
-//! [`FaultPlan`] injects deterministic drops, duplicates and reorders for
-//! the retransmission tests — the loop-back of the paper never loses
-//! packets, but the TCP above it must still be a real TCP.
+//! [`FaultPlan`] injects faults for the retransmission tests — the
+//! loop-back of the paper never loses packets, but the TCP above it must
+//! still be a real TCP. Two composable modes:
+//!
+//! * **deterministic every-nth knobs** (`drop_every`, …): the original
+//!   counting faults, phase-locked to the datagram counter;
+//! * **seeded probabilistic mode** ([`FaultPlan::seeded`]): per-datagram
+//!   drop/duplicate/reorder/corrupt/delay probabilities drawn from a
+//!   [`FaultDice`] stream (the workspace's xorshift64*, see
+//!   [`crate::rng`]), so a single u64 seed fully determines every fault
+//!   decision of a run — the substrate of the deterministic simulation
+//!   tests in `crates/sim`.
 
 use crate::ip::{Ipv4Header, IP_HEADER_LEN};
 use memsim::layout::AddressSpace;
@@ -34,7 +43,37 @@ pub struct Datagram {
     pub len: usize,
 }
 
-/// Deterministic fault injection for tests.
+/// Per-datagram fault probabilities in parts per 65536 (`u16::MAX` ≈
+/// certain, `6554` ≈ 10 %). All-zero means the probabilistic mode is
+/// off and the [`FaultDice`] stream is never consulted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultProbs {
+    /// Probability a datagram is dropped.
+    pub drop: u16,
+    /// Probability a delivered datagram is duplicated.
+    pub dup: u16,
+    /// Probability a delivered datagram is swapped with its queue
+    /// predecessor.
+    pub reorder: u16,
+    /// Probability one payload bit of a *data-bearing* datagram is
+    /// flipped (pure ACKs are exempt, as with `corrupt_every`).
+    pub corrupt: u16,
+    /// Probability a datagram is held back and released only after
+    /// 1–8 further datagrams have entered the kernel part.
+    pub delay: u16,
+}
+
+impl FaultProbs {
+    /// Whether any probabilistic fault can fire.
+    pub fn any(&self) -> bool {
+        self.drop | self.dup | self.reorder | self.corrupt | self.delay != 0
+    }
+}
+
+/// Deterministic fault injection for tests: counting every-nth knobs
+/// plus the seeded probabilistic mode ([`FaultPlan::seeded`]). Both can
+/// be active at once; the every-nth decision is ORed with the dice roll
+/// per fault kind.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FaultPlan {
     /// Drop every `n`-th datagram (1-based count; 0 = never).
@@ -48,6 +87,91 @@ pub struct FaultPlan {
     /// the TCP checksum only on data segments, so a corrupted ACK would
     /// model a failure this stack never detects.
     pub corrupt_every: usize,
+    /// Seed of the probabilistic fault stream. Only consulted when
+    /// `probs` has a non-zero knob; a zero seed is valid (the generator
+    /// remaps it, see [`crate::rng::XorShift64::new`]).
+    pub seed: u64,
+    /// Per-datagram fault probabilities.
+    pub probs: FaultProbs,
+}
+
+impl FaultPlan {
+    /// A purely probabilistic plan: every fault decision of the run is
+    /// a function of `seed` and the datagram arrival order.
+    pub fn seeded(seed: u64, probs: FaultProbs) -> Self {
+        FaultPlan { seed, probs, ..Default::default() }
+    }
+}
+
+/// The seeded per-datagram fault stream.
+///
+/// **Draw order contract** (what makes a seed reproducible anywhere,
+/// including outside the kernel part): for every datagram entering
+/// [`Loopback::send`] while `probs.any()`, exactly five rolls are drawn
+/// in the order *drop, corrupt, delay, dup, reorder* — regardless of
+/// which faults are enabled or fire — plus one extra
+/// [`FaultDice::delay_ticks`] draw immediately after a delay roll hits.
+/// Tests and the simulation runner can therefore replay or predict the
+/// exact decision sequence from the seed alone.
+#[derive(Debug, Clone)]
+pub struct FaultDice {
+    rng: crate::rng::XorShift64,
+}
+
+impl FaultDice {
+    /// Start the stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultDice { rng: crate::rng::XorShift64::new(seed) }
+    }
+
+    /// One Bernoulli roll with probability `p`/65536. Always consumes
+    /// one draw, even for `p == 0`, to keep the stream position a pure
+    /// function of the datagram count.
+    pub fn roll(&mut self, p: u16) -> bool {
+        ((self.rng.next_u64() >> 48) as u16) < p
+    }
+
+    /// How many subsequent datagrams a delayed one is held behind
+    /// (uniform in 1..=8).
+    pub fn delay_ticks(&mut self) -> u64 {
+        1 + self.rng.below(8)
+    }
+
+    /// The five per-datagram decisions, in draw order. `has_payload`
+    /// masks corruption (ACK exemption) *after* the roll is consumed.
+    pub fn decide(&mut self, probs: &FaultProbs, has_payload: bool) -> FaultDecision {
+        let drop = self.roll(probs.drop);
+        let corrupt = self.roll(probs.corrupt) && has_payload;
+        let delay = self.roll(probs.delay);
+        let dup = self.roll(probs.dup);
+        let reorder = self.roll(probs.reorder);
+        let delay_by = if delay && !drop { self.delay_ticks() } else { 0 };
+        FaultDecision { drop, corrupt, delay_by, dup, reorder }
+    }
+}
+
+/// What the dice decided for one datagram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Drop the datagram.
+    pub drop: bool,
+    /// Flip one payload bit.
+    pub corrupt: bool,
+    /// Hold the datagram back this many send events (0 = deliver now).
+    pub delay_by: u64,
+    /// Enqueue a second copy.
+    pub dup: bool,
+    /// Swap with the queue predecessor.
+    pub reorder: bool,
+}
+
+/// A datagram held back by the delay fault, due for release once the
+/// kernel part's send counter reaches `due`.
+#[derive(Debug, Clone, Copy)]
+struct Delayed {
+    due: u64,
+    dst_port: u16,
+    datagram: Datagram,
 }
 
 /// Per-endpoint state inside the kernel part.
@@ -80,10 +204,24 @@ pub struct Loopback {
     /// IP identification counter.
     next_ident: u16,
     sent: u64,
+    /// The seeded probabilistic fault stream (instantiated by
+    /// [`Loopback::set_faults`] when the plan carries probabilities).
+    dice: Option<FaultDice>,
+    /// Datagrams held back by the delay fault, awaiting release. The
+    /// kernel slot a delayed datagram points into may be recycled while
+    /// it waits — exactly a NIC ring overrun; the TCP checksum catches
+    /// the clobber and retransmission recovers.
+    delayed: Vec<Delayed>,
     /// Datagrams dropped by fault injection.
     pub dropped: u64,
     /// Datagrams bit-flipped by fault injection.
     pub corrupted: u64,
+    /// Datagrams duplicated by fault injection.
+    pub duplicated: u64,
+    /// Datagrams swapped with a predecessor by fault injection.
+    pub reordered: u64,
+    /// Datagrams held back by the delay fault.
+    pub delayed_count: u64,
     /// Datagrams that arrived for a port nobody listens on.
     pub unroutable: u64,
     /// High-water mark of any single endpoint's queue depth — how far
@@ -137,8 +275,13 @@ impl Loopback {
             os_data,
             next_ident: 1,
             sent: 0,
+            dice: None,
+            delayed: Vec::new(),
             dropped: 0,
             corrupted: 0,
+            duplicated: 0,
+            reordered: 0,
+            delayed_count: 0,
             unroutable: 0,
             max_queue: 0,
             by_port: HashMap::new(),
@@ -159,9 +302,12 @@ impl Loopback {
         self.endpoints[id.0].port
     }
 
-    /// Install a fault plan (tests only).
+    /// Install a fault plan (tests only). Re-seeds the probabilistic
+    /// stream from `fault.seed`, so installing the same plan twice
+    /// replays the same fault sequence.
     pub fn set_faults(&mut self, fault: FaultPlan) {
         self.fault = fault;
+        self.dice = fault.probs.any().then(|| FaultDice::new(fault.seed));
     }
 
     /// Total datagrams accepted for transmission.
@@ -209,17 +355,25 @@ impl Loopback {
         }
         m.phase_pop();
         self.sent += 1;
+        // Release delay-fault datagrams whose hold has expired — before
+        // the current datagram enqueues, so a released datagram lands in
+        // front of it (it was sent earlier).
+        self.release_due();
 
-        // Fault injection.
+        // Fault injection: the deterministic every-nth knobs OR the
+        // seeded dice, per fault kind.
         let n = self.sent as usize;
-        if self.fault.drop_every != 0 && n.is_multiple_of(self.fault.drop_every) {
+        let fault = self.fault;
+        let every = |k: usize| k != 0 && n.is_multiple_of(k);
+        let decision = match &mut self.dice {
+            Some(dice) => dice.decide(&fault.probs, payload_len > 0),
+            None => FaultDecision::default(),
+        };
+        if decision.drop || every(fault.drop_every) {
             self.dropped += 1;
             return;
         }
-        if self.fault.corrupt_every != 0
-            && n.is_multiple_of(self.fault.corrupt_every)
-            && payload_len > 0
-        {
+        if payload_len > 0 && (decision.corrupt || every(fault.corrupt_every)) {
             // Flip one bit in the middle of the TPDU payload — past both
             // headers, so the IP header still verifies and the damage is
             // the TCP checksum's to catch.
@@ -231,21 +385,66 @@ impl Loopback {
             self.corrupted += 1;
         }
         let datagram = Datagram { addr: slot, len: total };
+        if decision.delay_by > 0 {
+            self.delayed_count += 1;
+            self.delayed.push(Delayed { due: self.sent + decision.delay_by, dst_port, datagram });
+            return;
+        }
+        self.deliver(
+            datagram,
+            dst_port,
+            decision.dup || every(fault.dup_every),
+            decision.reorder || every(fault.reorder_every),
+        );
+    }
+
+    /// Enqueue a datagram at its destination port, applying the
+    /// duplicate/reorder verdicts.
+    fn deliver(&mut self, datagram: Datagram, dst_port: u16, dup: bool, reorder: bool) {
         let Some(endpoint) = self.by_port.get(&dst_port).map(|&i| &mut self.endpoints[i]) else {
             self.unroutable += 1;
             return;
         };
         endpoint.queue.push_back(datagram);
-        if self.fault.dup_every != 0 && n.is_multiple_of(self.fault.dup_every) {
+        if dup {
             endpoint.queue.push_back(datagram);
+            self.duplicated += 1;
         }
-        if self.fault.reorder_every != 0 && n.is_multiple_of(self.fault.reorder_every) {
+        if reorder {
             let qlen = endpoint.queue.len();
             if qlen >= 2 {
                 endpoint.queue.swap(qlen - 1, qlen - 2);
+                self.reordered += 1;
             }
         }
         self.max_queue = self.max_queue.max(endpoint.queue.len());
+    }
+
+    /// Move every delay-fault datagram whose hold expired into its
+    /// destination queue. Release is driven by send events only: a
+    /// delayed datagram stays held until *something* else enters the
+    /// kernel part — and something always does, because an unacked
+    /// segment keeps the sender's RTO firing, so delay can slow a
+    /// transfer but never deadlock it.
+    fn release_due(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let now = self.sent;
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].due <= now {
+                let d = self.delayed.swap_remove(i);
+                self.deliver(d.datagram, d.dst_port, false, false);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Datagrams currently held back by the delay fault.
+    pub fn delayed_pending(&self) -> usize {
+        self.delayed.len()
     }
 
     /// Dequeue the next datagram for an endpoint, if any.
@@ -384,6 +583,96 @@ mod tests {
         lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
         lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
         assert_eq!(lb.corrupted, 1);
+    }
+
+    #[test]
+    fn seeded_mode_is_reproducible() {
+        let probs =
+            FaultProbs { drop: 0x2000, dup: 0x2000, reorder: 0x2000, corrupt: 0x2000, delay: 0x1000 };
+        let run = |seed: u64| {
+            let (space, mut lb, user) = fixture();
+            let rx = lb.register(80);
+            lb.set_faults(FaultPlan::seeded(seed, probs));
+            let mut arena = space.native_arena();
+            let mut m = NativeMem::new(&mut arena);
+            for i in 0..200usize {
+                // Alternate data segments and pure ACKs so the
+                // has_payload masking is exercised too.
+                lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), if i % 3 == 0 { 0 } else { 8 });
+            }
+            (
+                lb.dropped,
+                lb.corrupted,
+                lb.duplicated,
+                lb.reordered,
+                lb.delayed_count,
+                lb.delayed_pending(),
+                lb.pending(rx),
+            )
+        };
+        assert_eq!(run(0xD57), run(0xD57), "one seed, one fault history");
+    }
+
+    #[test]
+    fn seeded_drops_follow_the_documented_draw_order() {
+        // Replay the dice outside the kernel part using the public
+        // draw-order contract and predict exactly which datagrams drop.
+        let seed = 77;
+        let probs = FaultProbs { drop: 0x8000, ..Default::default() };
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        lb.set_faults(FaultPlan::seeded(seed, probs));
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        let mut dice = FaultDice::new(seed);
+        let mut predicted_drops = 0u64;
+        for _ in 0..100 {
+            if dice.decide(&probs, true).drop {
+                predicted_drops += 1;
+            }
+            lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 8);
+        }
+        assert!(predicted_drops > 20, "50% drop over 100 sends");
+        assert_eq!(lb.dropped, predicted_drops);
+        assert_eq!(lb.pending(rx), (100 - predicted_drops) as usize);
+    }
+
+    #[test]
+    fn delayed_datagrams_are_released_by_later_sends() {
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        lb.set_faults(FaultPlan::seeded(9, FaultProbs { delay: u16::MAX, ..Default::default() }));
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 8);
+        // Held or (with probability 2^-16) delivered — but never lost.
+        assert_eq!(lb.delayed_pending() + lb.pending(rx), 1);
+        // Clearing the plan keeps already-held datagrams pending; each
+        // further send advances the clock and releases due ones (the
+        // hold is at most 8 sends).
+        lb.set_faults(FaultPlan::default());
+        for _ in 0..10 {
+            lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 8);
+        }
+        assert_eq!(lb.delayed_pending(), 0);
+        assert_eq!(lb.pending(rx), 11, "delayed datagram delivered, nothing lost");
+    }
+
+    #[test]
+    fn seeded_corruption_exempts_pure_acks() {
+        let (space, mut lb, user) = fixture();
+        let _rx = lb.register(80);
+        lb.set_faults(FaultPlan::seeded(3, FaultProbs { corrupt: u16::MAX, ..Default::default() }));
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for _ in 0..32 {
+            lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 0);
+        }
+        assert_eq!(lb.corrupted, 0, "pure ACKs are never corrupted");
+        for _ in 0..32 {
+            lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 16);
+        }
+        assert!(lb.corrupted >= 30, "near-certain corruption on data segments");
     }
 
     #[test]

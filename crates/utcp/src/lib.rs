@@ -45,10 +45,11 @@ pub mod ip;
 pub mod kernel_model;
 pub mod kernelpart;
 pub mod ring;
+pub mod rng;
 pub mod wire;
 
 pub use conn::{Connection, Delivered, SendError, UtcpConfig};
-pub use kernelpart::{Datagram, EndpointId, FaultPlan, Loopback};
+pub use kernelpart::{Datagram, EndpointId, FaultDice, FaultPlan, FaultProbs, Loopback};
 pub use ring::{RingWriter, SendRing};
 pub use ip::{Ipv4Header, IP_HEADER_LEN};
 pub use wire::{TcpFlags, TcpHeader, TCP_HEADER_LEN};

@@ -49,13 +49,27 @@ pub struct SendRing {
     tail: usize,
     /// Bytes currently allocated (incl. waste).
     used: usize,
+    /// Data bytes currently allocated (excl. waste) — kept incrementally
+    /// so the simulation oracle's `in_flight == buffered_bytes` check is
+    /// O(1) per tick.
+    data_bytes: usize,
+    /// Test-only: reintroduce the pre-fix saturated-tail wrap bug (see
+    /// [`SendRing::inject_legacy_wrap_bug`]).
+    buggy_wrap: bool,
     extents: VecDeque<Extent>,
 }
 
 impl SendRing {
     /// Wrap a region (allocate it with [`memsim::RegionKind::Ring`]).
     pub fn new(region: Region) -> Self {
-        SendRing { region, tail: 0, used: 0, extents: VecDeque::new() }
+        SendRing {
+            region,
+            tail: 0,
+            used: 0,
+            data_bytes: 0,
+            buggy_wrap: false,
+            extents: VecDeque::new(),
+        }
     }
 
     /// Ring capacity in bytes.
@@ -84,7 +98,11 @@ impl SendRing {
         // end — including the saturated case `tail == capacity`, where the
         // skipped fragment is empty (`waste == 0`). Deciding the wrap by
         // `waste > 0` alone allocated extents at `off == capacity` there.
-        let wrap = self.tail + len > self.capacity();
+        let mut wrap = self.tail + len > self.capacity();
+        if self.buggy_wrap && self.tail == self.capacity() {
+            // The pre-fix condition never fired for a saturated tail.
+            wrap = false;
+        }
         let waste = if wrap {
             self.capacity() - self.tail // skip the fragment at the end
         } else {
@@ -97,8 +115,21 @@ impl SendRing {
         let extent = Extent { off, len, seq, waste_before: waste };
         self.tail = off + len;
         self.used += len + waste;
+        self.data_bytes += len;
         self.extents.push_back(extent);
         Some(extent)
+    }
+
+    /// Reintroduce the saturated-tail wrap bug this allocator shipped
+    /// with (wrap decided by `waste > 0` alone, so `tail == capacity`
+    /// handed out extents at `off == capacity` — past the end of the
+    /// ring). Exists solely so the deterministic simulation sweep can
+    /// prove it would have caught the bug: with the hook on, the fault
+    /// scenarios that saturate the tail make [`SendRing::writer`] panic /
+    /// [`SendRing::check_invariants`] fail. Never enable outside tests.
+    #[doc(hidden)]
+    pub fn inject_legacy_wrap_bug(&mut self, on: bool) {
+        self.buggy_wrap = on;
     }
 
     /// Process a cumulative acknowledgment: free every extent whose data
@@ -113,6 +144,7 @@ impl SendRing {
                 break;
             }
             self.used -= front.len + front.waste_before;
+            self.data_bytes -= front.len;
             self.extents.pop_front();
             freed += 1;
         }
@@ -120,6 +152,60 @@ impl SendRing {
             self.tail = 0; // quiescent: restart at the origin
         }
         freed
+    }
+
+    /// Data bytes currently buffered (excluding tail-wrap waste). For a
+    /// healthy connection this equals `snd_nxt - snd_una` — one of the
+    /// simulation oracles.
+    pub fn buffered_bytes(&self) -> usize {
+        self.data_bytes
+    }
+
+    /// Check the allocator's structural invariants; returns a
+    /// description of the first violation. Used as a per-tick oracle by
+    /// the deterministic simulation runner:
+    ///
+    /// * every extent lies inside the ring;
+    /// * `used` equals the sum of extent lengths plus their waste, and
+    ///   `buffered_bytes` the sum of lengths alone;
+    /// * extents form a FIFO chain in sequence space
+    ///   (`extents[i+1].seq == extents[i].end_seq()`);
+    /// * the tail cursor never leaves the ring.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let cap = self.capacity();
+        if self.tail > cap {
+            return Err(format!("tail {} beyond capacity {}", self.tail, cap));
+        }
+        let mut used = 0usize;
+        let mut data = 0usize;
+        let mut prev_end: Option<u32> = None;
+        for (i, e) in self.extents.iter().enumerate() {
+            if e.off + e.len > cap {
+                return Err(format!(
+                    "extent #{i} [{}, {}) overruns the {cap}-byte ring",
+                    e.off,
+                    e.off + e.len
+                ));
+            }
+            if let Some(end) = prev_end {
+                if e.seq != end {
+                    return Err(format!(
+                        "extent #{i} seq {} breaks the FIFO chain (expected {end})",
+                        e.seq
+                    ));
+                }
+            }
+            prev_end = Some(e.end_seq());
+            used += e.len + e.waste_before;
+            data += e.len;
+        }
+        if used != self.used {
+            return Err(format!("used {} != sum over extents {used}", self.used));
+        }
+        if data != self.data_bytes {
+            return Err(format!("buffered_bytes {} != sum of extent lens {data}", self.data_bytes));
+        }
+        Ok(())
     }
 
     /// The oldest unacknowledged extent (retransmission candidate).
@@ -371,5 +457,76 @@ mod tests {
     fn oversized_segment_panics() {
         let (_s, mut r) = ring(64);
         let _ = r.alloc(128, 0);
+    }
+
+    #[test]
+    fn buffered_bytes_excludes_waste() {
+        let (_s, mut r) = ring(256);
+        r.alloc(100, 0).unwrap();
+        r.alloc(100, 100).unwrap();
+        r.ack(100);
+        let c = r.alloc(80, 200).unwrap(); // wraps: 56 bytes waste
+        assert_eq!(c.waste_before, 56);
+        assert_eq!(r.buffered_bytes(), 180, "waste is not data");
+        assert_eq!(r.free_bytes(), 256 - 236);
+        r.check_invariants().unwrap();
+        r.ack(280);
+        assert_eq!(r.buffered_bytes(), 0);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_across_a_random_alloc_ack_walk() {
+        let mut rng = crate::rng::XorShift64::new(0xF00D);
+        let (_s, mut r) = ring(512);
+        let mut seq = 0u32;
+        let mut acked = 0u32;
+        for _ in 0..2000 {
+            if rng.below(3) < 2 {
+                let len = 1 + rng.index(200);
+                if let Some(e) = r.alloc(len, seq) {
+                    seq = e.end_seq();
+                }
+            } else if acked != seq {
+                // Ack one to three oldest extents' worth of data.
+                let mut target = acked;
+                for _ in 0..1 + rng.below(3) {
+                    if let Some(front) = r.oldest() {
+                        if front.seq == target || front.seq == acked {
+                            target = front.end_seq();
+                        }
+                    }
+                }
+                r.ack(target);
+                acked = target;
+            }
+            r.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn legacy_wrap_bug_hands_out_an_out_of_range_extent() {
+        // With the hook on, the saturated-tail scenario from
+        // `full_tail_after_partial_ack_wraps_to_origin` regresses: the
+        // extent lands at off == capacity and the invariant check
+        // reports it. This is the mutation the DST sweep must catch.
+        let (_s, mut r) = ring(100);
+        r.inject_legacy_wrap_bug(true);
+        r.alloc(60, 0).unwrap();
+        r.alloc(40, 60).unwrap(); // tail == capacity
+        r.ack(60);
+        let c = r.alloc(30, 100).expect("the buggy path still allocates");
+        assert_eq!(c.off, 100, "buggy: extent starts past the end of the ring");
+        assert!(r.check_invariants().is_err(), "oracle flags the overrun");
+    }
+
+    #[test]
+    fn legacy_wrap_bug_off_by_default() {
+        let (_s, mut r) = ring(100);
+        r.alloc(60, 0).unwrap();
+        r.alloc(40, 60).unwrap();
+        r.ack(60);
+        assert_eq!(r.alloc(30, 100).unwrap().off, 0);
+        r.check_invariants().unwrap();
     }
 }

@@ -1,0 +1,56 @@
+//! Replay a deterministic-simulation scenario from its seed.
+//!
+//! Every DST run is a pure function of one `u64`: the seed generates
+//! the workload shape, the fault probabilities and the kernel-part dice
+//! stream, so pasting the seed from a CI failure replays the exact run.
+//!
+//! ```text
+//! cargo run --release --offline --example dst_repro -- 0x11f95007
+//! cargo run --release --offline --example dst_repro -- 0x11f95007 --inject-ring-bug
+//! ```
+//!
+//! The second form re-introduces the historical send-ring saturated-
+//! tail wrap bug behind the test hook and shows what the sweep prints
+//! when an oracle fires: the failure message, the shrunk scenario, and
+//! a ready-to-paste `#[test]` reproducer.
+
+use sim::{run_caught, shrink, RunOptions, Scenario};
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let mut seed = 0x11F9_5007u64;
+    let mut opts = RunOptions::default();
+    for a in std::env::args().skip(1) {
+        match (a.as_str(), parse_u64(&a)) {
+            ("--inject-ring-bug", _) => opts.inject_ring_bug = true,
+            (_, Some(s)) => seed = s,
+            _ => {
+                eprintln!("usage: dst_repro [SEED] [--inject-ring-bug]");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let sc = Scenario::from_seed(seed);
+    println!("seed {seed:#x} denotes:\n{sc:#?}\n");
+    match run_caught(&sc, &opts) {
+        Ok(stats) => {
+            println!("every oracle held:\n{stats:#?}");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            println!("oracle failure: {msg}\n");
+            println!("shrinking...");
+            let (shrunk, msg2) = shrink(&sc, &opts);
+            println!("minimal scenario still fails with: {msg2}\n");
+            println!("{}", shrunk.to_test_case());
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

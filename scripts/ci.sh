@@ -44,6 +44,15 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_server_sca
     points.0.paths.ilp.mbps:num points.0.paths.ilp.rounds:num \
     points.0.paths.ilp.cache.mem_accesses:num
 
+echo "== deterministic simulation: fixed-seed sweep with cross-layer oracles, schema-check its report =="
+cargo run -q --release --offline -p bench --bin exp_dst
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_dst.json \
+    experiment:str base_seed:num seeds:num passed:num kind_counts:arr \
+    kind_counts.0:num faults:obj faults.dropped:num faults.duplicated:num \
+    faults.reordered:num faults.corrupted:num faults.delayed:num \
+    oracle_checks:num rounds:num payload_bytes:num retransmits:num \
+    wall_us:num seeds_per_sec:num
+
 echo "== perf gate: fresh reports vs committed baselines (all metrics virtual-clock-deterministic) =="
 cargo run -q --release --offline -p bench --bin perf_gate
 

@@ -37,7 +37,7 @@ proptest! {
         let mut arena = space.native_arena();
         let mut m = NativeMem::new(&mut arena);
         suite.init_world(&mut m);
-        suite.lb.set_faults(FaultPlan { drop_every, dup_every, reorder_every });
+        suite.lb.set_faults(FaultPlan { drop_every, dup_every, reorder_every, ..Default::default() });
         let xfer = FileTransfer { file_len: 4 * 1024, chunk, copies: 1 };
         xfer.fill_file(&suite, &mut m);
         let report = xfer.run(&mut suite, &mut m, if ilp { Path::Ilp } else { Path::NonIlp });
