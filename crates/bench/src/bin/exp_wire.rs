@@ -1,0 +1,325 @@
+//! E22 — wall-clock throughput over real UDP sockets, two OS processes.
+//!
+//! Every other experiment in this repo measures *simulated* cost on the
+//! virtual clock. This one closes the loop with reality: the identical
+//! ILP and non-ILP pipelines (marshal + simplified SAFER + checksum +
+//! user-level TCP) push a payload through [`netback::UdpBackend`] to a
+//! receiver running in a separate OS process on 127.0.0.1, and we time
+//! the transfer on the wall clock.
+//!
+//! Wall-clock numbers are machine- and load-dependent, so everything in
+//! `BENCH_wire.json` gates [`bench::gate::Policy::ReportOnly`] — the
+//! report is for the log and for the `identical` invariant (both paths
+//! must deliver byte-identical files), never an equality gate. When the
+//! sandbox denies UDP sockets the report is still written, with
+//! `skipped: true` and zeroed metrics, so downstream schema checks and
+//! the gate manifest stay satisfied everywhere.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin exp_wire            # writes BENCH_wire.json
+//! cargo run --release -p bench --bin exp_wire -- --bytes 65536 --reps 8
+//! ```
+
+use cipher::SimplifiedSafer;
+use memsim::region::RegionKind;
+use memsim::{AddressSpace, NativeMem};
+use netback::UdpBackend;
+use obs::Json;
+use rpcapp::ReplyMeta;
+use server::pipeline::{
+    recv_chunk_ilp, recv_chunk_non_ilp, send_chunk_ilp, send_chunk_non_ilp, Scratch,
+};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use utcp::rng::XorShift64;
+use utcp::{Connection, UtcpConfig};
+
+const CLIENT_PORT: u16 = 4000;
+const SERVER_PORT: u16 = 5000;
+const CLIENT_ISS: u32 = 0x1000;
+const SERVER_ISS: u32 = 0x9000;
+const KEY: [u8; 8] = *b"ILP95key";
+const SEED: u64 = 0x3177_1225;
+const CHUNK: usize = 1024;
+const MAX_FILE: usize = 256 * 1024;
+const DEFAULT_BYTES: usize = 64 * 1024;
+const DEFAULT_REPS: usize = 4;
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// FNV-1a, resumable: feed each rep's bytes into the running state so
+/// repeated identical payloads still produce a non-trivial digest.
+fn fnv_feed(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn payload(bytes: usize) -> Vec<u8> {
+    let mut rng = XorShift64::new(SEED);
+    (0..bytes).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Receiver process: accept `reps` transfers, write the running digest
+/// of the delivered bytes to `<dir>/<path>.digest`, exit.
+fn serve(path: &str, dir: &str, bytes: usize, reps: usize) -> ExitCode {
+    let ilp = path == "ilp";
+    let mut space = AddressSpace::new();
+    let cipher = SimplifiedSafer::alloc(&mut space);
+    let Ok(mut net) = UdpBackend::bind(&mut space, "127.0.0.1:0") else {
+        return ExitCode::from(2);
+    };
+    net.set_learn_peer(true);
+    let cfg = UtcpConfig {
+        local_port: SERVER_PORT,
+        peer_port: CLIENT_PORT,
+        local_ip: 0x0A00_0002,
+        peer_ip: 0x0A00_0001,
+        ..Default::default()
+    };
+    let mut rx = Connection::new(&mut space, &mut net, cfg, SERVER_ISS);
+    rx.set_peer_iss(CLIENT_ISS);
+    let scratch = Scratch::alloc(&mut space);
+    let app_out = space.alloc_kind("app_out", MAX_FILE, 64, RegionKind::AppData);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    cipher.init(&mut m, KEY);
+
+    let addr = net.local_addr().map(|a| a.to_string()).unwrap_or_default();
+    if std::fs::write(format!("{dir}/{path}.addr"), addr).is_err() {
+        return ExitCode::FAILURE;
+    }
+    let deadline = Instant::now() + DEADLINE;
+    let mut digest = FNV_BASIS;
+    for _ in 0..reps {
+        loop {
+            if Instant::now() >= deadline {
+                return ExitCode::FAILURE;
+            }
+            let got = if ilp {
+                recv_chunk_ilp(&scratch, cipher, &mut m, &mut rx, &mut net, app_out)
+            } else {
+                recv_chunk_non_ilp(&scratch, &cipher, &mut m, &mut rx, &mut net, app_out)
+            };
+            match got {
+                Some(Ok(meta)) if meta.last == 1 => break,
+                Some(_) => {}
+                None => std::thread::sleep(Duration::from_micros(100)),
+            }
+        }
+        digest = fnv_feed(digest, m.bytes(app_out.base, bytes));
+    }
+    if std::fs::write(format!("{dir}/{path}.digest"), format!("{digest:016x}")).is_err() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Sender side of one leg: spawn the receiver process, push the payload
+/// `reps` times, return (wall_us, digest) or None when the leg could
+/// not run.
+fn run_leg(path: &'static str, dir: &str, bytes: usize, reps: usize) -> Option<(u64, u64)> {
+    let exe = std::env::current_exe().ok()?;
+    let mut server = std::process::Command::new(exe)
+        .args(["--serve", path, dir, &bytes.to_string(), &reps.to_string()])
+        .spawn()
+        .ok()?;
+    let addr_file = format!("{dir}/{path}.addr");
+    let deadline = Instant::now() + DEADLINE;
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if s.contains(':') {
+                break s;
+            }
+        }
+        if Instant::now() >= deadline {
+            let _ = server.kill();
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    let ilp = path == "ilp";
+    let mut space = AddressSpace::new();
+    let cipher = SimplifiedSafer::alloc(&mut space);
+    let mut net = UdpBackend::bind(&mut space, "127.0.0.1:0").ok()?;
+    net.set_peer(addr.trim()).ok()?;
+    let cfg = UtcpConfig {
+        local_port: CLIENT_PORT,
+        peer_port: SERVER_PORT,
+        local_ip: 0x0A00_0001,
+        peer_ip: 0x0A00_0002,
+        ..Default::default()
+    };
+    let mut tx = Connection::new(&mut space, &mut net, cfg, CLIENT_ISS);
+    tx.set_peer_iss(SERVER_ISS);
+    let scratch = Scratch::alloc(&mut space);
+    let file = space.alloc_kind("app_file", MAX_FILE, 64, RegionKind::AppData);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    cipher.init(&mut m, KEY);
+    let data = payload(bytes);
+    m.bytes_mut(file.base, bytes).copy_from_slice(&data);
+
+    let start = Instant::now();
+    let mut seq = 0u32;
+    let mut last_tick = Instant::now();
+    for _ in 0..reps {
+        let mut offset = 0usize;
+        while offset < bytes || tx.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                let _ = server.kill();
+                return None;
+            }
+            if offset < bytes {
+                let len = CHUNK.min(bytes - offset);
+                let meta = ReplyMeta {
+                    request_id: 0x3177,
+                    seq,
+                    offset: offset as u32,
+                    last: u32::from(offset + len == bytes),
+                    data_len: len as u32,
+                };
+                let sent = if ilp {
+                    send_chunk_ilp(&scratch, cipher, &mut m, &mut tx, &mut net, &meta, file.at(offset))
+                } else {
+                    send_chunk_non_ilp(
+                        &scratch, &cipher, &mut m, &mut tx, &mut net, &meta, file.at(offset),
+                    )
+                };
+                if sent.is_ok() {
+                    offset += len;
+                    seq += 1;
+                }
+            }
+            while tx.poll_input(&mut m, &mut net).is_some() {}
+            if last_tick.elapsed() >= Duration::from_millis(20) {
+                tx.tick(&mut m, &mut net);
+                last_tick = Instant::now();
+            }
+        }
+    }
+    let wall_us = start.elapsed().as_micros() as u64;
+    let ok = loop {
+        match server.try_wait() {
+            Ok(Some(s)) => break s.success(),
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+            _ => {
+                let _ = server.kill();
+                break false;
+            }
+        }
+    };
+    if !ok {
+        return None;
+    }
+    let digest = std::fs::read_to_string(format!("{dir}/{path}.digest"))
+        .ok()
+        .and_then(|s| u64::from_str_radix(s.trim(), 16).ok())?;
+    Some((wall_us, digest))
+}
+
+fn leg_json(leg: Option<(u64, u64)>, total_bytes: usize) -> Json {
+    match leg {
+        Some((wall_us, digest)) => Json::obj()
+            .set("wall_us", Json::U64(wall_us))
+            .set("mbps", Json::F64(total_bytes as f64 * 8.0 / wall_us.max(1) as f64))
+            .set("digest", Json::Str(format!("{digest:016x}"))),
+        None => Json::obj()
+            .set("wall_us", Json::U64(0))
+            .set("mbps", Json::F64(0.0))
+            .set("digest", Json::Str(String::new())),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut bytes = DEFAULT_BYTES;
+    let mut reps = DEFAULT_REPS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--serve" => {
+                // Child mode: exp_wire --serve <path> <dir> <bytes> <reps>
+                let (Some(p), Some(d), Some(b), Some(r)) =
+                    (args.next(), args.next(), args.next(), args.next())
+                else {
+                    return ExitCode::FAILURE;
+                };
+                let (Ok(b), Ok(r)) = (b.parse(), r.parse()) else {
+                    return ExitCode::FAILURE;
+                };
+                return serve(&p, &d, b, r);
+            }
+            "--bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 && v <= MAX_FILE => bytes = v,
+                _ => {
+                    eprintln!("exp_wire: --bytes wants 1..={MAX_FILE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--reps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => reps = v,
+                _ => {
+                    eprintln!("exp_wire: --reps wants a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("exp_wire: unknown argument {other:?}");
+                eprintln!("usage: exp_wire [--bytes N] [--reps N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let sockets_ok = std::net::UdpSocket::bind("127.0.0.1:0").is_ok();
+    let dir = std::env::temp_dir().join(format!("exp_wire_{}", std::process::id()));
+    let total = bytes * reps;
+    let (ilp, non_ilp) = if sockets_ok && std::fs::create_dir_all(&dir).is_ok() {
+        let d = dir.to_string_lossy().into_owned();
+        let non_ilp = run_leg("non_ilp", &d, bytes, reps);
+        let ilp = run_leg("ilp", &d, bytes, reps);
+        let _ = std::fs::remove_dir_all(&dir);
+        (ilp, non_ilp)
+    } else {
+        eprintln!("exp_wire: UDP sockets unavailable — writing a skipped report");
+        (None, None)
+    };
+    let skipped = ilp.is_none() || non_ilp.is_none();
+    // Byte-identity is checked against the locally regenerated payload,
+    // not just between the two legs — a bug affecting both paths the
+    // same way must not masquerade as success.
+    let expected = (0..reps).fold(FNV_BASIS, |h, _| fnv_feed(h, &payload(bytes)));
+    let identical = match (ilp, non_ilp) {
+        (Some((_, a)), Some((_, b))) => a == b && a == expected,
+        _ => false,
+    };
+    let report = Json::obj()
+        .set("experiment", Json::Str("wire".into()))
+        .set("payload_bytes", Json::U64(bytes as u64))
+        .set("reps", Json::U64(reps as u64))
+        .set("ilp", leg_json(ilp, total))
+        .set("non_ilp", leg_json(non_ilp, total))
+        .set("identical", Json::Bool(identical))
+        .set("skipped", Json::Bool(skipped));
+    if let Err(e) = obs::write_report(std::path::Path::new("BENCH_wire.json"), &report) {
+        eprintln!("exp_wire: cannot write BENCH_wire.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    match (ilp, non_ilp) {
+        (Some((iw, _)), Some((nw, _))) => {
+            println!(
+                "exp_wire: {reps}×{bytes} B over 127.0.0.1 — ilp {iw} µs, non_ilp {nw} µs, payloads {}",
+                if identical { "identical" } else { "DIFFER" }
+            );
+            if !identical {
+                return ExitCode::FAILURE;
+            }
+        }
+        _ => println!("exp_wire: skipped (no sockets); BENCH_wire.json records skipped=true"),
+    }
+    ExitCode::SUCCESS
+}

@@ -53,8 +53,16 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for fm in manifest() {
+        let report_only = fm.checks.iter().all(|c| c.policy == bench::gate::Policy::ReportOnly);
         let report = match load(Path::new(fm.file)) {
             Ok(r) => r,
+            Err(e) if report_only => {
+                // A file whose every metric is report-only can never
+                // fail the gate, so its absence (e.g. a wall-clock
+                // experiment the environment cannot run) is a note.
+                println!("perf_gate: {}: skipped ({e})", fm.file);
+                continue;
+            }
             Err(e) => {
                 eprintln!("perf_gate: {e} (run the emitting experiment first)");
                 failed = true;

@@ -156,6 +156,23 @@ pub fn manifest() -> Vec<FileManifest> {
                 Check::new("seeds_per_sec", Policy::ReportOnly),
             ],
         },
+        FileManifest {
+            file: "BENCH_wire.json",
+            checks: vec![
+                // Real-socket wall-clock numbers: machine-dependent by
+                // nature, so every metric is report-only. The file still
+                // goes through the gate so its schema is held stable and
+                // the run-to-run trend lands in the CI log.
+                Check::new("payload_bytes", Policy::ReportOnly),
+                Check::new("reps", Policy::ReportOnly),
+                Check::new("ilp.wall_us", Policy::ReportOnly),
+                Check::new("ilp.mbps", Policy::ReportOnly),
+                Check::new("non_ilp.wall_us", Policy::ReportOnly),
+                Check::new("non_ilp.mbps", Policy::ReportOnly),
+                Check::new("identical", Policy::ReportOnly),
+                Check::new("skipped", Policy::ReportOnly),
+            ],
+        },
     ]
 }
 

@@ -1,0 +1,266 @@
+//! The UDP wire frame: an explicit, length-checked envelope around one
+//! utcp datagram.
+//!
+//! A UDP socket already delimits datagrams, but trusting the transport
+//! to describe the payload is how parsers end up reading garbage: a
+//! stray datagram from another program, a truncated read, or a buggy
+//! peer must all surface as a *typed* decode error, never as a panic or
+//! a mis-parsed segment handed to TCP. So every frame carries its own
+//! magic, version, kind, and inner length, and [`decode`] cross-checks
+//! the declared length against the bytes actually present.
+//!
+//! ```text
+//! 0        2      3      4          6
+//! +--------+------+------+----------+----------------- - - -
+//! | magic  | ver  | kind | len (BE) | inner: IPv4+TCP+payload
+//! +--------+------+------+----------+----------------- - - -
+//! ```
+//!
+//! `inner` is byte-for-byte the datagram the loop-back would carry —
+//! IPv4 header, TCP header, payload — so the receiving side's
+//! validation path ([`utcp::Connection::poll_input`]) is identical over
+//! both backends.
+
+use std::fmt;
+
+/// Frame magic: "IL" — rejects datagrams from unrelated programs fast.
+pub const MAGIC: [u8; 2] = *b"IL";
+/// Codec version; bumped on any layout change.
+pub const VERSION: u8 = 1;
+/// Frame kind: a utcp datagram (the only kind, but the field keeps
+/// control frames representable without a version bump).
+pub const KIND_SEGMENT: u8 = 1;
+/// Envelope bytes preceding the inner datagram.
+pub const HEADER_LEN: usize = 6;
+/// Largest inner datagram accepted: the loop-back's kernel slot size /
+/// link MTU. Anything larger could not have come from this stack.
+pub const MAX_INNER: usize = 2048;
+/// Smallest inner datagram: one IPv4 header + one TCP header (a pure
+/// ACK). Shorter frames cannot be parsed as a segment.
+pub const MIN_INNER: usize = 40;
+
+/// Why a frame failed to decode. Every variant is a normal return —
+/// decoding arbitrary bytes never panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the fixed envelope.
+    Truncated {
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// First two bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        got: [u8; 2],
+    },
+    /// Version byte differs from [`VERSION`].
+    BadVersion {
+        /// The version found.
+        got: u8,
+    },
+    /// Unknown frame kind.
+    BadKind {
+        /// The kind found.
+        got: u8,
+    },
+    /// Declared inner length disagrees with the bytes present (UDP
+    /// delivers whole datagrams, so any mismatch means truncation in a
+    /// buffer, a short read, or trailing garbage).
+    LengthMismatch {
+        /// Length the header declared.
+        declared: usize,
+        /// Inner bytes actually present.
+        actual: usize,
+    },
+    /// Declared length exceeds [`MAX_INNER`].
+    Oversized {
+        /// Length the header declared.
+        declared: usize,
+        /// The accepted maximum.
+        max: usize,
+    },
+    /// Declared length below [`MIN_INNER`] — too short to hold the
+    /// IPv4 + TCP headers.
+    Runt {
+        /// Length the header declared.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecError::Truncated { got } => {
+                write!(f, "frame truncated: {got} bytes, need at least {HEADER_LEN}")
+            }
+            CodecError::BadMagic { got } => write!(f, "bad magic {got:02x?}"),
+            CodecError::BadVersion { got } => write!(f, "unsupported codec version {got}"),
+            CodecError::BadKind { got } => write!(f, "unknown frame kind {got}"),
+            CodecError::LengthMismatch { declared, actual } => {
+                write!(f, "declared {declared} inner bytes but {actual} present")
+            }
+            CodecError::Oversized { declared, max } => {
+                write!(f, "declared {declared} inner bytes exceeds max {max}")
+            }
+            CodecError::Runt { len } => {
+                write!(f, "declared {len} inner bytes, below minimum {MIN_INNER}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Wrap one utcp datagram in a frame.
+///
+/// # Errors
+/// [`CodecError::Oversized`] / [`CodecError::Runt`] when `inner` is
+/// outside the representable segment sizes — the encoder enforces the
+/// same bounds the decoder does, so every encoded frame round-trips.
+pub fn encode(inner: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if inner.len() > MAX_INNER {
+        return Err(CodecError::Oversized { declared: inner.len(), max: MAX_INNER });
+    }
+    if inner.len() < MIN_INNER {
+        return Err(CodecError::Runt { len: inner.len() });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + inner.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(KIND_SEGMENT);
+    out.extend_from_slice(&(inner.len() as u16).to_be_bytes());
+    out.extend_from_slice(inner);
+    Ok(out)
+}
+
+/// Validate a frame and return the inner datagram bytes.
+///
+/// # Errors
+/// A [`CodecError`] describing the first check that failed; arbitrary
+/// input never panics (see the fuzz tests below).
+pub fn decode(frame: &[u8]) -> Result<&[u8], CodecError> {
+    if frame.len() < HEADER_LEN {
+        return Err(CodecError::Truncated { got: frame.len() });
+    }
+    if frame[0..2] != MAGIC {
+        return Err(CodecError::BadMagic { got: [frame[0], frame[1]] });
+    }
+    if frame[2] != VERSION {
+        return Err(CodecError::BadVersion { got: frame[2] });
+    }
+    if frame[3] != KIND_SEGMENT {
+        return Err(CodecError::BadKind { got: frame[3] });
+    }
+    let declared = u16::from_be_bytes([frame[4], frame[5]]) as usize;
+    if declared > MAX_INNER {
+        return Err(CodecError::Oversized { declared, max: MAX_INNER });
+    }
+    if declared < MIN_INNER {
+        return Err(CodecError::Runt { len: declared });
+    }
+    let actual = frame.len() - HEADER_LEN;
+    if declared != actual {
+        return Err(CodecError::LengthMismatch { declared, actual });
+    }
+    Ok(&frame[HEADER_LEN..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utcp::rng::XorShift64;
+
+    fn valid_inner(len: usize, fill: u8) -> Vec<u8> {
+        vec![fill; len]
+    }
+
+    #[test]
+    fn roundtrip_across_the_size_range() {
+        for len in [MIN_INNER, 64, 577, 1536, MAX_INNER] {
+            let inner = valid_inner(len, (len % 251) as u8);
+            let frame = encode(&inner).unwrap();
+            assert_eq!(frame.len(), HEADER_LEN + len);
+            assert_eq!(decode(&frame).unwrap(), &inner[..]);
+        }
+    }
+
+    #[test]
+    fn encoder_enforces_decoder_bounds() {
+        assert!(matches!(encode(&[0u8; MIN_INNER - 1]), Err(CodecError::Runt { .. })));
+        assert!(matches!(encode(&[0u8; MAX_INNER + 1]), Err(CodecError::Oversized { .. })));
+    }
+
+    #[test]
+    fn each_header_field_is_checked() {
+        let frame = encode(&valid_inner(64, 7)).unwrap();
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad), Err(CodecError::BadMagic { .. })));
+        let mut bad = frame.clone();
+        bad[2] = VERSION + 1;
+        assert_eq!(decode(&bad), Err(CodecError::BadVersion { got: VERSION + 1 }));
+        let mut bad = frame.clone();
+        bad[3] = 9;
+        assert_eq!(decode(&bad), Err(CodecError::BadKind { got: 9 }));
+        let mut bad = frame.clone();
+        bad[5] = 65; // declare 65 inner bytes; 64 present
+        assert_eq!(decode(&bad), Err(CodecError::LengthMismatch { declared: 65, actual: 64 }));
+        let mut bad = frame.clone();
+        bad[4] = 0x08; // declare 0x0840 = 2112 bytes, past MAX_INNER
+        assert!(matches!(decode(&bad), Err(CodecError::Oversized { .. })));
+        assert!(matches!(decode(&frame[..3]), Err(CodecError::Truncated { got: 3 })));
+    }
+
+    /// Fuzz: random byte strings must decode to Ok or a typed error,
+    /// never panic — and the only way random bytes decode Ok is by
+    /// actually carrying the magic/version/kind/length prefix.
+    #[test]
+    fn fuzz_random_bytes_never_panic() {
+        let mut rng = XorShift64::new(0xC0DEC);
+        for _ in 0..20_000 {
+            let len = rng.below(HEADER_LEN as u64 + MAX_INNER as u64 + 64) as usize;
+            let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            if let Ok(inner) = decode(&buf) {
+                assert_eq!(&buf[0..2], &MAGIC);
+                assert_eq!(inner.len(), buf.len() - HEADER_LEN);
+            }
+        }
+    }
+
+    /// Fuzz: cutting a valid frame anywhere (or appending garbage)
+    /// must produce an error, never a mis-sized Ok.
+    #[test]
+    fn fuzz_random_cuts_of_valid_frames_error() {
+        let mut rng = XorShift64::new(0xA11CE);
+        for _ in 0..5_000 {
+            let len = MIN_INNER + rng.below((MAX_INNER - MIN_INNER) as u64 + 1) as usize;
+            let inner: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let frame = encode(&inner).unwrap();
+            // Random cut strictly inside the frame.
+            let cut = rng.below(frame.len() as u64) as usize;
+            match decode(&frame[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("cut frame ({cut}/{} bytes) decoded Ok", frame.len()),
+            }
+            // Trailing garbage must be caught by the length cross-check.
+            let mut padded = frame.clone();
+            padded.extend_from_slice(&[0xEE; 3]);
+            assert!(matches!(decode(&padded), Err(CodecError::LengthMismatch { .. })));
+        }
+    }
+
+    /// Fuzz: flipping one byte of a valid frame either still decodes
+    /// (payload byte) or yields a typed error (header byte) — no panic.
+    #[test]
+    fn fuzz_single_byte_corruption_never_panics() {
+        let mut rng = XorShift64::new(0xF11B);
+        let inner: Vec<u8> = (0..512).map(|i| i as u8).collect();
+        let frame = encode(&inner).unwrap();
+        for _ in 0..10_000 {
+            let mut dam = frame.clone();
+            let at = rng.below(dam.len() as u64) as usize;
+            dam[at] ^= (1 << rng.below(8)) as u8;
+            let _ = decode(&dam);
+        }
+    }
+}

@@ -25,7 +25,7 @@ use memsim::region::Region;
 use memsim::Mem;
 use utcp::ip::PROTO_TCP;
 use utcp::{
-    Datagram, EndpointId, Ipv4Header, Loopback, TcpFlags, TcpHeader, IP_HEADER_LEN,
+    Datagram, EndpointId, Ipv4Header, KernelPart, TcpFlags, TcpHeader, IP_HEADER_LEN,
     TCP_HEADER_LEN,
 };
 
@@ -83,7 +83,7 @@ fn ip_check<M: Mem>(m: &mut M, d: &Datagram, local_ip: u32) -> Option<Ipv4Header
 #[allow(clippy::too_many_arguments)]
 pub fn client_send_syn<M: Mem>(
     m: &mut M,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     scratch: Region,
     client_ip: u32,
     server_ip: u32,
@@ -145,7 +145,7 @@ pub fn parse_syn<M: Mem>(m: &mut M, d: &Datagram, server_ip: u32) -> Option<SynI
 #[allow(clippy::too_many_arguments)]
 pub fn server_send_syn_ack<M: Mem>(
     m: &mut M,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     scratch: Region,
     server_ip: u32,
     client_ip: u32,
@@ -179,12 +179,12 @@ pub fn server_send_syn_ack<M: Mem>(
 /// discarded (the retry timer re-sends the SYN).
 pub fn client_poll_syn_ack<M: Mem>(
     m: &mut M,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     ctrl: EndpointId,
     client_ip: u32,
     expected_ack: u32,
 ) -> Option<u32> {
-    while let Some(d) = lb.recv(ctrl) {
+    while let Some(d) = lb.recv_into(m, ctrl) {
         if d.len != IP_HEADER_LEN + TCP_HEADER_LEN {
             continue;
         }
@@ -208,6 +208,7 @@ pub fn client_poll_syn_ack<M: Mem>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use utcp::Loopback;
     use memsim::layout::AddressSpace;
     use memsim::NativeMem;
 

@@ -30,7 +30,7 @@ use memsim::region::{Region, RegionKind};
 use memsim::Mem;
 use obs::{Counter, EventKind, Metric, NoopObserver, PathLabel, SpanObserver};
 pub use rpcapp::app::Path;
-use utcp::{Connection, EndpointId, FaultPlan, Loopback, SendError, UtcpConfig};
+use utcp::{Connection, EndpointId, FaultPlan, KernelPart, Loopback, SendError, UtcpConfig};
 
 use crate::clock::VirtualClock;
 use crate::conn_table::{ConnId, ConnTable, Session, SessionState};
@@ -217,11 +217,17 @@ pub struct AggregateReport {
 }
 
 /// Server + N clients + shared kernel part, in one address space.
+///
+/// Generic over the [`KernelPart`] backend; defaults to the in-process
+/// [`Loopback`], which remains the deterministic tier-1/DST world. The
+/// default keeps every existing `ScaleHarness<Cipher>` reference (and
+/// the fault-injection surface, which is `Loopback`-specific) exactly
+/// as it was.
 #[derive(Debug)]
-pub struct ScaleHarness<C> {
+pub struct ScaleHarness<C, K: KernelPart = Loopback> {
     cipher: C,
     /// The shared kernel part (exposed for fault injection in tests).
-    pub lb: Loopback,
+    pub lb: K,
     /// The server's connection table.
     pub table: ConnTable,
     clients: Vec<ClientSide>,
@@ -252,8 +258,24 @@ impl ScaleHarness<VerySimple> {
 }
 
 impl<C: CipherKernel + Copy> ScaleHarness<C> {
-    /// Assemble the world around an already-allocated cipher.
+    /// Assemble the world around an already-allocated cipher, over the
+    /// deterministic loop-back kernel part.
     pub fn with_cipher(space: &mut AddressSpace, cipher: C, cfg: ServerConfig) -> Self {
+        // Slot pool: a few datagrams per connection stay queued between
+        // rounds (data in flight + ACKs); overruns are recovered by
+        // checksum + retransmission, but size generously.
+        let mut lb = Loopback::with_capacity(space, 16 * cfg.n_conns.max(1) + 64);
+        lb.set_faults(cfg.faults);
+        Self::with_cipher_over(space, cipher, cfg, lb)
+    }
+}
+
+impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
+    /// Assemble the world around an already-allocated cipher and an
+    /// already-built kernel-part backend. The backend brings its own
+    /// fault story ([`ServerConfig::faults`] only applies to the
+    /// loop-back constructors — a real network faults by itself).
+    pub fn with_cipher_over(space: &mut AddressSpace, cipher: C, cfg: ServerConfig, mut lb: K) -> Self {
         assert!(cfg.n_conns >= 1, "a server needs at least one connection");
         assert!(
             cfg.conn_base + cfg.n_conns <= 10_000,
@@ -262,11 +284,6 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
             cfg.n_conns
         );
         assert!(cfg.chunk > 0 && cfg.chunk + 64 <= 1536, "chunk must fit one TPDU");
-        // Slot pool: a few datagrams per connection stay queued between
-        // rounds (data in flight + ACKs); overruns are recovered by
-        // checksum + retransmission, but size generously.
-        let mut lb = Loopback::with_capacity(space, 16 * cfg.n_conns + 64);
-        lb.set_faults(cfg.faults);
         let listen_ep = lb.register(LISTEN_PORT);
         let hs_scratch = space.alloc("hs_scratch", 64, 8);
         let scratch = Scratch::alloc(space);
@@ -456,9 +473,10 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
         if O::ENABLED {
             // Kernel-part totals are cheapest to read once at the end;
             // they are cumulative over the whole run.
-            obs.count(Counter::FaultDrops, self.lb.dropped);
-            obs.count(Counter::FaultCorruptions, self.lb.corrupted);
-            obs.count(Counter::Unroutable, self.lb.unroutable);
+            let k = self.lb.counters();
+            obs.count(Counter::FaultDrops, k.dropped);
+            obs.count(Counter::FaultCorruptions, k.corrupted);
+            obs.count(Counter::Unroutable, k.unroutable);
         }
         self.report(scheduler)
     }
@@ -503,7 +521,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
         // Server: accept everything pending on the listen endpoint. The
         // accept is idempotent — a retried SYN for an established
         // session just provokes a fresh SYN-ACK.
-        while let Some(d) = self.lb.recv(self.listen_ep) {
+        while let Some(d) = self.lb.recv_into(m, self.listen_ep) {
             let Some(info) = handshake::parse_syn(m, &d, SERVER_IP) else { continue };
             let Some(id) = self.table.lookup_port(info.data_port) else { continue };
             let sess = self.table.get_mut(id);
@@ -772,7 +790,7 @@ impl<C: CipherKernel + Copy> ScaleHarness<C> {
             rounds: self.clock.now(),
             retransmits: per_conn.iter().map(|p| p.retransmits).sum(),
             rejected: per_conn.iter().map(|p| p.rejected).sum(),
-            corrupted: self.lb.corrupted,
+            corrupted: self.lb.counters().corrupted,
             fairness: jain_fairness(&shares),
             scheduler,
             per_conn,
@@ -830,14 +848,14 @@ pub trait WorldInit<M: Mem> {
     fn init_world(&self, m: &mut M);
 }
 
-impl<M: Mem> WorldInit<M> for ScaleHarness<SimplifiedSafer> {
+impl<M: Mem, K: KernelPart> WorldInit<M> for ScaleHarness<SimplifiedSafer, K> {
     fn init_world(&self, m: &mut M) {
         self.cipher.init(m, *b"ILP95key");
         self.fill_files(m);
     }
 }
 
-impl<M: Mem> WorldInit<M> for ScaleHarness<VerySimple> {
+impl<M: Mem, K: KernelPart> WorldInit<M> for ScaleHarness<VerySimple, K> {
     fn init_world(&self, m: &mut M) {
         self.fill_files(m);
     }

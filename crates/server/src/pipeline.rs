@@ -25,7 +25,7 @@ use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
 use rpcapp::{ReplyMeta, ENC_HDR_LEN, PREFIX_BYTES, RPC_HDR_WORDS};
 use rpcapp::msg::{ReplyUnmarshalSink, ReplyWords};
-use utcp::{Connection, Loopback, SendError};
+use utcp::{Connection, KernelPart, SendError};
 use xdr::stream::OpaqueSource;
 
 /// Buffers and instruction footprints shared by every connection of one
@@ -127,7 +127,7 @@ pub fn send_chunk_non_ilp<C: CipherKernel, M: Mem>(
     cipher: &C,
     m: &mut M,
     tx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     meta: &ReplyMeta,
     data_addr: usize,
 ) -> Result<usize, SendError> {
@@ -147,7 +147,7 @@ pub fn send_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
     cipher: &C,
     m: &mut M,
     tx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     meta: &ReplyMeta,
     data_addr: usize,
     obs: &mut O,
@@ -188,7 +188,7 @@ pub fn send_chunk_ilp<C: CipherKernel + Copy, M: Mem>(
     cipher: C,
     m: &mut M,
     tx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     meta: &ReplyMeta,
     data_addr: usize,
 ) -> Result<usize, SendError> {
@@ -208,7 +208,7 @@ pub fn send_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
     cipher: C,
     m: &mut M,
     tx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     meta: &ReplyMeta,
     data_addr: usize,
     obs: &mut O,
@@ -264,7 +264,7 @@ pub fn recv_chunk_non_ilp<C: CipherKernel, M: Mem>(
     cipher: &C,
     m: &mut M,
     rx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     app_out: Region,
 ) -> Option<Result<ReplyMeta, Reject>> {
     recv_chunk_non_ilp_obs(s, cipher, m, rx, lb, app_out, &mut NoopObserver)
@@ -279,7 +279,7 @@ pub fn recv_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
     cipher: &C,
     m: &mut M,
     rx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     app_out: Region,
     obs: &mut O,
 ) -> Option<Result<ReplyMeta, Reject>> {
@@ -358,7 +358,7 @@ pub fn recv_chunk_ilp<C: CipherKernel + Copy, M: Mem>(
     cipher: C,
     m: &mut M,
     rx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     app_out: Region,
 ) -> Option<Result<ReplyMeta, Reject>> {
     recv_chunk_ilp_obs(s, cipher, m, rx, lb, app_out, &mut NoopObserver)
@@ -373,7 +373,7 @@ pub fn recv_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
     cipher: C,
     m: &mut M,
     rx: &mut Connection,
-    lb: &mut Loopback,
+    lb: &mut impl KernelPart,
     app_out: Region,
     obs: &mut O,
 ) -> Option<Result<ReplyMeta, Reject>> {
@@ -419,6 +419,7 @@ pub fn recv_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
 mod tests {
     use super::*;
     use cipher::SimplifiedSafer;
+    use utcp::Loopback;
     use memsim::NativeMem;
 
     struct World {

@@ -1,0 +1,157 @@
+//! The [`KernelPart`] backend trait — the seam between the user-level
+//! TCP and whatever moves its datagrams.
+//!
+//! The paper's kernel component has "similar functionality as UDP
+//! without checksum" (§3.1): on send it passes TPDUs to IP, on receive
+//! it demultiplexes IP packets to the right user-level connection. For
+//! the measurements that contract is fulfilled by the in-process
+//! [`Loopback`](crate::kernelpart::Loopback); this trait names the
+//! contract itself, so the *identical* connection state machine and
+//! ILP/non-ILP pipelines also run over real kernels — a UDP socket
+//! backend, a TUN device (`crates/netback`) — without touching a line
+//! of protocol code.
+//!
+//! Design constraints, in order:
+//!
+//! * **Zero cost over Loopback.** Every method is generic over
+//!   [`Mem`] and dispatched statically; the `Loopback` impl is pure
+//!   delegation to its inherent methods, so the deterministic tier-1
+//!   and DST worlds compile to exactly the code they had before the
+//!   trait existed. The perf gate holds this to bit-exactness.
+//! * **Datagrams live in instrumented memory.** A backend deposits
+//!   received datagrams into kernel-buffer slots *inside the
+//!   connection's address space* and hands out a [`Datagram`]
+//!   (address + length), exactly as the loop-back does — the
+//!   receive-side system copy stays visible to the memory model, and
+//!   [`crate::conn::Connection::poll_input`] is backend-agnostic.
+//! * **Faults are not part of the contract.** [`FaultPlan`]
+//!   injection is a property of the deterministic loop-back world
+//!   (`Loopback::set_faults`); a real network brings its own faults.
+//!   Backends report what actually happened through
+//!   [`KernelPart::counters`].
+
+use crate::kernelpart::{Datagram, EndpointId, Loopback};
+use memsim::Mem;
+
+/// Fault/garbage accounting a backend exposes to harnesses and
+/// observers. For `Loopback` these are the injected-fault counters;
+/// for a real backend they count what the wire actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Datagrams that never reached a destination queue (injected
+    /// drops on loop-back; local send failures on a socket backend).
+    pub dropped: u64,
+    /// Datagrams damaged in flight (injected bit-flips on loop-back;
+    /// frames that failed the wire codec on a socket backend).
+    pub corrupted: u64,
+    /// Datagrams that arrived for a port nobody listens on.
+    pub unroutable: u64,
+}
+
+/// A kernel-part backend: datagram transport + per-port demultiplexing
+/// under one or more [`Connection`](crate::conn::Connection)s.
+///
+/// All methods take the instrumented memory `m` because both directions
+/// perform the *system copy* through it: send copies header + payload
+/// from user memory out of the address space, receive deposits arriving
+/// datagrams into kernel-buffer slots inside it.
+pub trait KernelPart {
+    /// Register a listening port; returns the endpoint handle used to
+    /// receive from it.
+    fn register(&mut self, port: u16) -> EndpointId;
+
+    /// Send one TPDU: encapsulate the TCP header at `hdr_addr` and
+    /// `payload_len` bytes at `payload_addr` in IPv4 and hand the
+    /// datagram to the network. `payload_len` may be zero (pure ACK).
+    #[allow(clippy::too_many_arguments)]
+    fn send<M: Mem>(
+        &mut self,
+        m: &mut M,
+        src_ip: u32,
+        dst_ip: u32,
+        dst_port: u16,
+        hdr_addr: usize,
+        payload_addr: usize,
+        payload_len: usize,
+    );
+
+    /// Dequeue the next datagram for an endpoint, if any. A backend
+    /// fronting a real descriptor drains it into its per-port queues
+    /// here (depositing bytes into kernel slots via `m`); the loop-back
+    /// already queued at send time and ignores `m`.
+    fn recv_into<M: Mem>(&mut self, m: &mut M, id: EndpointId) -> Option<Datagram>;
+
+    /// Number of datagrams already queued for an endpoint. Advisory
+    /// (a real backend may have more in the socket buffer); used for
+    /// queue-depth observability, never for correctness.
+    fn pending(&self, id: EndpointId) -> usize;
+
+    /// Cumulative fault/garbage accounting for this backend.
+    fn counters(&self) -> KernelCounters;
+}
+
+impl KernelPart for Loopback {
+    fn register(&mut self, port: u16) -> EndpointId {
+        Loopback::register(self, port)
+    }
+
+    fn send<M: Mem>(
+        &mut self,
+        m: &mut M,
+        src_ip: u32,
+        dst_ip: u32,
+        dst_port: u16,
+        hdr_addr: usize,
+        payload_addr: usize,
+        payload_len: usize,
+    ) {
+        Loopback::send(self, m, src_ip, dst_ip, dst_port, hdr_addr, payload_addr, payload_len);
+    }
+
+    fn recv_into<M: Mem>(&mut self, _m: &mut M, id: EndpointId) -> Option<Datagram> {
+        Loopback::recv(self, id)
+    }
+
+    fn pending(&self, id: EndpointId) -> usize {
+        Loopback::pending(self, id)
+    }
+
+    fn counters(&self) -> KernelCounters {
+        KernelCounters {
+            dropped: self.dropped,
+            corrupted: self.corrupted,
+            unroutable: self.unroutable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::layout::AddressSpace;
+    use memsim::NativeMem;
+
+    /// Drive the loop-back exclusively through the trait: the contract
+    /// must be indistinguishable from the inherent API.
+    #[test]
+    fn loopback_through_the_trait_matches_inherent_behaviour() {
+        let mut space = AddressSpace::new();
+        let mut lb = Loopback::new(&mut space);
+        let user = space.alloc("user", 4096, 8);
+        let rx = KernelPart::register(&mut lb, 80);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for i in 0..8 {
+            m.write_u8(user.at(64 + i), 0xB0 + i as u8);
+        }
+        KernelPart::send(&mut lb, &mut m, 1, 2, 80, user.at(0), user.at(64), 8);
+        assert_eq!(KernelPart::pending(&lb, rx), 1);
+        let d = lb.recv_into(&mut m, rx).expect("delivered");
+        assert_eq!(d.len, crate::ip::IP_HEADER_LEN + crate::wire::TCP_HEADER_LEN + 8);
+        assert!(lb.recv_into(&mut m, rx).is_none());
+        assert_eq!(lb.counters(), KernelCounters::default());
+        // Unroutable traffic is visible through the trait counters.
+        KernelPart::send(&mut lb, &mut m, 1, 2, 81, user.at(0), user.at(64), 0);
+        assert_eq!(lb.counters().unroutable, 1);
+    }
+}

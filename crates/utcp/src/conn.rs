@@ -33,8 +33,9 @@ use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
 use obs::{Layer, NoopObserver, PathLabel, SpanObserver, Stage, Work};
 
+use crate::backend::KernelPart;
 use crate::ip::{Ipv4Header, IP_HEADER_LEN, PROTO_TCP};
-use crate::kernelpart::{EndpointId, Loopback};
+use crate::kernelpart::EndpointId;
 use crate::ring::{Extent, RingWriter, SendRing};
 use crate::wire::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 
@@ -197,7 +198,7 @@ mod tcb {
 impl Connection {
     /// Allocate a connection's buffers in `space` and register its port
     /// with the loop-back kernel part.
-    pub fn new(space: &mut AddressSpace, lb: &mut Loopback, cfg: UtcpConfig, iss: u32) -> Self {
+    pub fn new(space: &mut AddressSpace, lb: &mut impl KernelPart, cfg: UtcpConfig, iss: u32) -> Self {
         let endpoint = lb.register(cfg.local_port);
         let ring_region = space.alloc_kind("tcp_ring", cfg.ring_capacity, 64, RegionKind::Ring);
         let hdr = space.alloc_kind("tcp_hdr", TCP_HEADER_LEN.next_multiple_of(8), 8, RegionKind::State);
@@ -390,7 +391,7 @@ impl Connection {
     pub fn send_buf<M: Mem>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         src: usize,
         len: usize,
     ) -> Result<(), SendError> {
@@ -406,7 +407,7 @@ impl Connection {
     pub fn send_buf_obs<M: Mem, O: SpanObserver>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         src: usize,
         len: usize,
         obs: &mut O,
@@ -440,7 +441,7 @@ impl Connection {
     pub fn commit_send<M: Mem>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         extent: Extent,
         payload_sum: InetChecksum,
     ) {
@@ -452,7 +453,7 @@ impl Connection {
     pub fn commit_send_obs<M: Mem, O: SpanObserver>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         extent: Extent,
         payload_sum: InetChecksum,
         obs: &mut O,
@@ -467,7 +468,7 @@ impl Connection {
     fn output<M: Mem>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         extent: Extent,
         payload_sum: Option<InetChecksum>,
     ) {
@@ -482,7 +483,7 @@ impl Connection {
     fn output_obs<M: Mem, O: SpanObserver>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         extent: Extent,
         payload_sum: Option<InetChecksum>,
         obs: &mut O,
@@ -548,7 +549,7 @@ impl Connection {
 
     /// Advance the clock; retransmit the oldest unacknowledged segment on
     /// RTO expiry.
-    pub fn tick<M: Mem>(&mut self, m: &mut M, lb: &mut Loopback) {
+    pub fn tick<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) {
         self.tick_obs(m, lb, &mut NoopObserver, PathLabel::NonIlp);
     }
 
@@ -558,7 +559,7 @@ impl Connection {
     pub fn tick_obs<M: Mem, O: SpanObserver>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         obs: &mut O,
         path: PathLabel,
     ) {
@@ -591,7 +592,7 @@ impl Connection {
     /// returned for the integrated stage. This is the receive-side system
     /// copy + the *initial* control operations (demux happened in the
     /// kernel part; header parsing happens here).
-    pub fn poll_input<M: Mem>(&mut self, m: &mut M, lb: &mut Loopback) -> Option<Delivered> {
+    pub fn poll_input<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) -> Option<Delivered> {
         self.poll_input_obs(m, lb, &mut NoopObserver, PathLabel::NonIlp)
     }
 
@@ -602,7 +603,7 @@ impl Connection {
     pub fn poll_input_obs<M: Mem, O: SpanObserver>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         obs: &mut O,
         path: PathLabel,
     ) -> Option<Delivered> {
@@ -614,9 +615,9 @@ impl Connection {
         out
     }
 
-    fn poll_input_inner<M: Mem>(&mut self, m: &mut M, lb: &mut Loopback) -> Option<Delivered> {
+    fn poll_input_inner<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) -> Option<Delivered> {
         loop {
-            let datagram = lb.recv(self.endpoint)?;
+            let datagram = lb.recv_into(m, self.endpoint)?;
             // Kernel: IP validation + demultiplexing, then the system
             // copy into the receive staging buffer (step 1, Fig. 5).
             m.phase_push(memsim::mem::PhaseTag::System);
@@ -680,7 +681,7 @@ impl Connection {
     pub fn finish_recv<M: Mem>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         d: &Delivered,
         payload_sum: InetChecksum,
     ) -> Result<(), Reject> {
@@ -695,7 +696,7 @@ impl Connection {
     pub fn finish_recv_obs<M: Mem, O: SpanObserver>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         d: &Delivered,
         payload_sum: InetChecksum,
         obs: &mut O,
@@ -712,7 +713,7 @@ impl Connection {
     fn finish_recv_inner<M: Mem>(
         &mut self,
         m: &mut M,
-        lb: &mut Loopback,
+        lb: &mut impl KernelPart,
         d: &Delivered,
         payload_sum: InetChecksum,
     ) -> Result<(), Reject> {
@@ -736,7 +737,7 @@ impl Connection {
     }
 
     /// Emit a pure ACK.
-    fn send_ack<M: Mem>(&mut self, m: &mut M, lb: &mut Loopback) {
+    fn send_ack<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) {
         let hdr = TcpHeader::at(self.hdr.base);
         hdr.build(
             m,
@@ -811,7 +812,7 @@ impl Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernelpart::FaultPlan;
+    use crate::kernelpart::{FaultPlan, Loopback};
     use memsim::NativeMem;
 
     struct World {
@@ -868,6 +869,29 @@ mod tests {
         assert_eq!(w.tx.in_flight(), 0, "ACK freed the ring");
         assert_eq!(w.tx.stats.data_sent, 1);
         assert_eq!(w.rx.stats.accepted, 1);
+    }
+
+    /// Guards the docs against drifting back to the old "stop-and-go
+    /// with a fixed advertised window" description: Jacobson slow
+    /// start opens the congestion window with every ACK of an epoch.
+    #[test]
+    fn cwnd_opens_across_an_epoch() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        let initial = w.tx.cwnd();
+        assert_eq!(initial, 2 * w.tx.cfg.mtu as u32, "slow start begins at 2 MSS");
+        let mut prev = initial;
+        for round in 0..32usize {
+            m.bytes_mut(w.src.base, 512).copy_from_slice(&[round as u8; 512]);
+            transfer(&mut w, &mut m, 512);
+            let now = w.tx.cwnd();
+            assert!(now >= prev, "cwnd shrank {prev} -> {now} in a loss-free epoch");
+            prev = now;
+        }
+        // Below ssthresh each ACK grows cwnd by the bytes it advances,
+        // so the epoch's growth is exactly the payload it acked.
+        assert_eq!(prev, initial + 32 * 512, "slow start: one increment per ACK");
     }
 
     #[test]

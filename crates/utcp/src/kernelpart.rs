@@ -30,9 +30,24 @@ use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
 use std::collections::{HashMap, VecDeque};
 
-/// Identifies a registered endpoint (index into the loop-back's tables).
+/// Identifies a registered endpoint (index into a backend's tables).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EndpointId(usize);
+
+impl EndpointId {
+    /// Build a handle from a raw table index. For
+    /// [`crate::backend::KernelPart`] implementors outside this crate
+    /// (e.g. the socket backends in `netback`); handles are only
+    /// meaningful to the backend that issued them.
+    pub fn from_index(index: usize) -> Self {
+        EndpointId(index)
+    }
+
+    /// The raw table index this handle wraps.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// A datagram sitting in a kernel buffer slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod conn;
 pub mod ip;
 pub mod kernel_model;
@@ -48,6 +49,7 @@ pub mod ring;
 pub mod rng;
 pub mod wire;
 
+pub use backend::{KernelCounters, KernelPart};
 pub use conn::{Connection, Delivered, SendError, UtcpConfig};
 pub use kernelpart::{Datagram, EndpointId, FaultDice, FaultPlan, FaultProbs, Loopback};
 pub use ring::{RingWriter, SendRing};

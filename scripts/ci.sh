@@ -17,6 +17,9 @@ cargo test --release -q --offline
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "== clippy: netback with the TUN backend compiled in =="
+cargo clippy --offline -p netback --features tun --all-targets -- -D warnings
+
 echo "== observability: run the observed server and schema-check its report =="
 cargo run -q --release --offline --example observe
 cargo run -q --release --offline -p bench --bin check_report -- BENCH_observe.json \
@@ -52,6 +55,21 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_dst.json \
     faults.reordered:num faults.corrupted:num faults.delayed:num \
     oracle_checks:num rounds:num payload_bytes:num retransmits:num \
     wall_us:num seeds_per_sec:num
+
+echo "== wire: two-process transfer over real UDP sockets + wall-clock benchmark =="
+cargo build -q --release --offline --example serve_udp
+if ./target/release/examples/serve_udp probe; then
+    # Hard timeout: a wedged socket path must fail CI, not hang it.
+    timeout 120 ./target/release/examples/serve_udp selftest
+else
+    echo "UDP sockets unavailable in this environment; skipping the socket smoke test"
+fi
+# exp_wire degrades on its own: without sockets it writes skipped=true.
+cargo run -q --release --offline -p bench --bin exp_wire
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_wire.json \
+    experiment:str payload_bytes:num reps:num \
+    ilp.wall_us:num ilp.mbps:num non_ilp.wall_us:num non_ilp.mbps:num \
+    identical:bool skipped:bool
 
 echo "== perf gate: fresh reports vs committed baselines (all metrics virtual-clock-deterministic) =="
 cargo run -q --release --offline -p bench --bin perf_gate

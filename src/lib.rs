@@ -17,7 +17,10 @@
 //! * [`cipher`] — SAFER K-64, the paper's simplified SAFER, the very
 //!   simple table-free cipher, and DES.
 //! * [`xdr`] — XDR marshalling runtime and MAVROS-like stub generation.
-//! * [`utcp`] — user-level TCP over an in-process loop-back kernel part.
+//! * [`utcp`] — user-level TCP over a pluggable kernel part (the
+//!   in-process loop-back by default).
+//! * [`netback`] — real kernel-part backends: framed UDP sockets and a
+//!   feature-gated TUN device.
 //! * [`rpcapp`] — the file-transfer application with ILP and non-ILP
 //!   send/receive paths.
 //! * [`server`] — the event-driven multi-connection file-transfer
@@ -35,6 +38,7 @@ pub use checksum;
 pub use cipher;
 pub use ilp_core as ilp;
 pub use memsim;
+pub use netback;
 pub use obs;
 pub use rpcapp;
 pub use server;
