@@ -1,0 +1,201 @@
+//! E23 — the health engine, verified and costed.
+//!
+//! Three sections, all seed-deterministic and Exact-gated except the
+//! wall-clock analysis cost:
+//!
+//! * **trigger matrix** — every [`sim::health::Trigger`] world runs and
+//!   must produce exactly its pinned detector set; the per-world
+//!   verdict counts gate bit-exact, so a detector drifting over- or
+//!   under-sensitive moves a committed number;
+//! * **clean sweep** — the no-false-positive oracle over a fixed seed
+//!   set: every seed-derived clean workload must produce zero verdicts
+//!   and an observed run identical to its unobserved twin;
+//! * **overhead** — the detector-cost story: a faulted workload runs
+//!   observed and unobserved and every reported field must match
+//!   (the flight recorder and health views are host-side bookkeeping,
+//!   so the hot path is unperturbed — `hot_path_identical` gates
+//!   Exact `true`), and [`obs::health::analyze`] is timed over the
+//!   observed recorder (report-only: analysis happens after the run,
+//!   off the hot path, so its cost is informational).
+//!
+//! ```bash
+//! cargo run --release -p bench --bin exp_health   # writes BENCH_health.json
+//! ```
+
+use memsim::{AddressSpace, NativeMem};
+use obs::{HealthConfig, Json, Recorder, SeriesConfig};
+use server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
+use sim::health::{clean_sweep, detectors_of, run_trigger, Trigger};
+use std::process::ExitCode;
+use std::time::Instant;
+use utcp::FaultPlan;
+
+const CLEAN_BASE_SEED: u64 = 0xC0FFEE;
+const CLEAN_SEEDS: usize = 16;
+const ANALYZE_REPS: u32 = 200;
+
+/// The faulted workload the overhead section runs twice: lossy enough
+/// to exercise retransmission and the flight recorder, small enough to
+/// finish quickly.
+fn overhead_cfg() -> ServerConfig {
+    ServerConfig {
+        n_conns: 8,
+        file_len: 8 * 1024,
+        chunk: 512,
+        faults: FaultPlan { drop_every: 11, corrupt_every: 13, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn overhead_section() -> Result<Json, String> {
+    // Observed run.
+    let cfg = overhead_cfg();
+    let mut space = AddressSpace::new();
+    let mut h = ScaleHarness::simplified(&mut space, cfg.clone());
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut sched = RoundRobin::new();
+    let mut rec = Recorder::with_series(512, SeriesConfig { window_ticks: 16, ring: 4 });
+    let observed = h.run_observed(&mut m, &mut sched, Path::Ilp, &mut rec);
+    if h.verify_outputs(&mut m).is_some() {
+        return Err("overhead: observed run corrupted a delivered file".into());
+    }
+
+    // Unobserved twin: a fresh world, NoopObserver path. Every reported
+    // field must match — observation is free on the hot path.
+    let mut space2 = AddressSpace::new();
+    let mut h2 = ScaleHarness::simplified(&mut space2, cfg);
+    let mut arena2 = space2.native_arena();
+    let mut m2 = NativeMem::new(&mut arena2);
+    h2.init_world(&mut m2);
+    let mut sched2 = RoundRobin::new();
+    let plain = h2.run(&mut m2, &mut sched2, Path::Ilp);
+    let identical = observed.payload_bytes == plain.payload_bytes
+        && observed.rounds == plain.rounds
+        && observed.retransmits == plain.retransmits
+        && observed.rejected == plain.rejected
+        && observed.per_conn == plain.per_conn
+        && observed.fairness.to_bits() == plain.fairness.to_bits();
+
+    // Analysis cost, off the hot path: analyze() over the finished
+    // recorder, repeated for a stable figure. Wall-clock, so
+    // report-only in the gate.
+    let views = h.health_views();
+    let queue = h.queue_stat();
+    let hc = HealthConfig::default();
+    let start = Instant::now();
+    let mut verdicts = 0u64;
+    for _ in 0..ANALYZE_REPS {
+        verdicts += obs::health::analyze(&rec, &views, queue, &hc).len() as u64;
+    }
+    let wall = start.elapsed().as_micros() as u64;
+    Ok(Json::obj()
+        .set("hot_path_identical", Json::Bool(identical))
+        .set("conns", Json::U64(8))
+        .set("rounds", Json::U64(observed.rounds))
+        .set("retransmits", Json::U64(observed.retransmits))
+        .set("flight_conns", Json::U64(rec.flights().len() as u64))
+        .set("verdicts_per_analysis", Json::U64(verdicts / u64::from(ANALYZE_REPS)))
+        .set("analyze_reps", Json::U64(u64::from(ANALYZE_REPS)))
+        .set("analyze_wall_us", Json::U64(wall))
+        .set(
+            "analyze_us_each",
+            Json::F64(wall as f64 / f64::from(ANALYZE_REPS)),
+        ))
+}
+
+fn main() -> ExitCode {
+    // Trigger matrix.
+    let mut triggers = Json::obj();
+    let mut failed = false;
+    for t in Trigger::ALL {
+        match run_trigger(t) {
+            Ok(verdicts) => {
+                let dets: Vec<Json> = detectors_of(&verdicts)
+                    .into_iter()
+                    .map(|d| Json::Str(d.name().to_string()))
+                    .collect();
+                println!(
+                    "exp_health: {:<10} {} verdicts, detectors {:?}",
+                    t.name(),
+                    verdicts.len(),
+                    t.expected().iter().map(|d| d.name()).collect::<Vec<_>>(),
+                );
+                triggers = triggers.set(
+                    t.name(),
+                    Json::obj()
+                        .set("verdicts", Json::U64(verdicts.len() as u64))
+                        .set("detectors", Json::Arr(dets))
+                        .set("pass", Json::Bool(true)),
+                );
+            }
+            Err(e) => {
+                eprintln!("exp_health: trigger {} FAILED: {e}", t.name());
+                triggers = triggers.set(
+                    t.name(),
+                    Json::obj()
+                        .set("verdicts", Json::U64(0))
+                        .set("detectors", Json::Arr(Vec::new()))
+                        .set("pass", Json::Bool(false)),
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Clean sweep: the fixed-seed no-false-positive oracle.
+    let clean = match clean_sweep(CLEAN_BASE_SEED, CLEAN_SEEDS) {
+        Ok(s) => {
+            println!(
+                "exp_health: clean sweep {} seeds, {} checks, 0 false positives",
+                s.seeds_run, s.checks
+            );
+            Json::obj()
+                .set("base_seed", Json::U64(CLEAN_BASE_SEED))
+                .set("seeds", Json::U64(s.seeds_run as u64))
+                .set("checks", Json::U64(s.checks))
+                .set("false_positives", Json::U64(0))
+        }
+        Err(e) => {
+            eprintln!("exp_health: clean sweep FAILED: {e}");
+            failed = true;
+            Json::obj()
+                .set("base_seed", Json::U64(CLEAN_BASE_SEED))
+                .set("seeds", Json::U64(CLEAN_SEEDS as u64))
+                .set("checks", Json::U64(0))
+                .set("false_positives", Json::U64(1))
+        }
+    };
+
+    // Overhead.
+    let overhead = match overhead_section() {
+        Ok(j) => {
+            println!(
+                "exp_health: hot path identical under observation; analyze() ≈ {} µs",
+                j.get("analyze_us_each").and_then(|v| v.as_f64()).unwrap_or(0.0)
+            );
+            j
+        }
+        Err(e) => {
+            eprintln!("exp_health: overhead section FAILED: {e}");
+            failed = true;
+            Json::obj().set("hot_path_identical", Json::Bool(false))
+        }
+    };
+
+    let report = Json::obj()
+        .set("experiment", Json::Str("health".into()))
+        .set("triggers", triggers)
+        .set("clean", clean)
+        .set("overhead", overhead);
+    if let Err(e) = obs::write_report(std::path::Path::new("BENCH_health.json"), &report) {
+        eprintln!("exp_health: cannot write BENCH_health.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("exp_health: wrote BENCH_health.json");
+    ExitCode::SUCCESS
+}

@@ -32,7 +32,7 @@ use server::pipeline::{
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use utcp::rng::XorShift64;
-use utcp::{Connection, UtcpConfig};
+use utcp::{Connection, KernelCounters, KernelPart, UtcpConfig};
 
 const CLIENT_PORT: u16 = 4000;
 const SERVER_PORT: u16 = 5000;
@@ -119,9 +119,14 @@ fn serve(path: &str, dir: &str, bytes: usize, reps: usize) -> ExitCode {
 }
 
 /// Sender side of one leg: spawn the receiver process, push the payload
-/// `reps` times, return (wall_us, digest) or None when the leg could
-/// not run.
-fn run_leg(path: &'static str, dir: &str, bytes: usize, reps: usize) -> Option<(u64, u64)> {
+/// `reps` times, return (wall_us, digest, sender backend counters) or
+/// None when the leg could not run.
+fn run_leg(
+    path: &'static str,
+    dir: &str,
+    bytes: usize,
+    reps: usize,
+) -> Option<(u64, u64, KernelCounters)> {
     let exe = std::env::current_exe().ok()?;
     let mut server = std::process::Command::new(exe)
         .args(["--serve", path, dir, &bytes.to_string(), &reps.to_string()])
@@ -219,19 +224,21 @@ fn run_leg(path: &'static str, dir: &str, bytes: usize, reps: usize) -> Option<(
     let digest = std::fs::read_to_string(format!("{dir}/{path}.digest"))
         .ok()
         .and_then(|s| u64::from_str_radix(s.trim(), 16).ok())?;
-    Some((wall_us, digest))
+    Some((wall_us, digest, net.counters()))
 }
 
-fn leg_json(leg: Option<(u64, u64)>, total_bytes: usize) -> Json {
+fn leg_json(leg: &Option<(u64, u64, KernelCounters)>, total_bytes: usize) -> Json {
     match leg {
-        Some((wall_us, digest)) => Json::obj()
-            .set("wall_us", Json::U64(wall_us))
-            .set("mbps", Json::F64(total_bytes as f64 * 8.0 / wall_us.max(1) as f64))
-            .set("digest", Json::Str(format!("{digest:016x}"))),
+        Some((wall_us, digest, kc)) => Json::obj()
+            .set("wall_us", Json::U64(*wall_us))
+            .set("mbps", Json::F64(total_bytes as f64 * 8.0 / (*wall_us).max(1) as f64))
+            .set("digest", Json::Str(format!("{digest:016x}")))
+            .set("backend", kc.to_json()),
         None => Json::obj()
             .set("wall_us", Json::U64(0))
             .set("mbps", Json::F64(0.0))
-            .set("digest", Json::Str(String::new())),
+            .set("digest", Json::Str(String::new()))
+            .set("backend", KernelCounters::default().to_json()),
     }
 }
 
@@ -293,24 +300,24 @@ fn main() -> ExitCode {
     // not just between the two legs — a bug affecting both paths the
     // same way must not masquerade as success.
     let expected = (0..reps).fold(FNV_BASIS, |h, _| fnv_feed(h, &payload(bytes)));
-    let identical = match (ilp, non_ilp) {
-        (Some((_, a)), Some((_, b))) => a == b && a == expected,
+    let identical = match (&ilp, &non_ilp) {
+        (Some((_, a, _)), Some((_, b, _))) => a == b && *a == expected,
         _ => false,
     };
     let report = Json::obj()
         .set("experiment", Json::Str("wire".into()))
         .set("payload_bytes", Json::U64(bytes as u64))
         .set("reps", Json::U64(reps as u64))
-        .set("ilp", leg_json(ilp, total))
-        .set("non_ilp", leg_json(non_ilp, total))
+        .set("ilp", leg_json(&ilp, total))
+        .set("non_ilp", leg_json(&non_ilp, total))
         .set("identical", Json::Bool(identical))
         .set("skipped", Json::Bool(skipped));
     if let Err(e) = obs::write_report(std::path::Path::new("BENCH_wire.json"), &report) {
         eprintln!("exp_wire: cannot write BENCH_wire.json: {e}");
         return ExitCode::FAILURE;
     }
-    match (ilp, non_ilp) {
-        (Some((iw, _)), Some((nw, _))) => {
+    match (&ilp, &non_ilp) {
+        (Some((iw, _, _)), Some((nw, _, _))) => {
             println!(
                 "exp_wire: {reps}×{bytes} B over 127.0.0.1 — ilp {iw} µs, non_ilp {nw} µs, payloads {}",
                 if identical { "identical" } else { "DIFFER" }

@@ -98,6 +98,12 @@ pub fn manifest() -> Vec<FileManifest> {
                 e("ilp.series.sealed_windows"),
                 e("ilp.series.last_tick"),
                 e("ilp.series.windows.0.chunks_sent"),
+                // Kernel-part backend counters (loop-back: injected
+                // faults + queue high-water), deterministic too.
+                e("ilp.backend.sent"),
+                e("ilp.backend.dropped"),
+                e("ilp.backend.corrupted"),
+                e("ilp.backend.queue_peak"),
                 t("ilp.work.ilp.integrated.share"),
             ],
         },
@@ -157,6 +163,37 @@ pub fn manifest() -> Vec<FileManifest> {
             ],
         },
         FileManifest {
+            file: "BENCH_health.json",
+            checks: vec![
+                // The verdict counts of the pinned trigger worlds are
+                // virtual-clock output: a detector drifting over- or
+                // under-sensitive, or a protocol change altering how a
+                // fault world unfolds, moves these.
+                e("triggers.storm.verdicts"),
+                e("triggers.storm.pass"),
+                e("triggers.blackout.verdicts"),
+                e("triggers.blackout.pass"),
+                e("triggers.saturation.verdicts"),
+                e("triggers.saturation.pass"),
+                e("triggers.fairness.verdicts"),
+                e("triggers.fairness.pass"),
+                // The no-false-positive sweep: fixed seed set, zero
+                // verdicts, full oracle count.
+                e("clean.base_seed"),
+                e("clean.seeds"),
+                e("clean.checks"),
+                e("clean.false_positives"),
+                // Observation must be free on the hot path: the
+                // observed and unobserved twins matched field for
+                // field. The analysis cost itself is wall-clock.
+                e("overhead.hot_path_identical"),
+                e("overhead.rounds"),
+                e("overhead.retransmits"),
+                e("overhead.verdicts_per_analysis"),
+                Check::new("overhead.analyze_us_each", Policy::ReportOnly),
+            ],
+        },
+        FileManifest {
             file: "BENCH_wire.json",
             checks: vec![
                 // Real-socket wall-clock numbers: machine-dependent by
@@ -171,6 +208,12 @@ pub fn manifest() -> Vec<FileManifest> {
                 Check::new("non_ilp.mbps", Policy::ReportOnly),
                 Check::new("identical", Policy::ReportOnly),
                 Check::new("skipped", Policy::ReportOnly),
+                // Sender-side backend counters: retransmission volume
+                // depends on real scheduling, so these are trends.
+                Check::new("ilp.backend.sent", Policy::ReportOnly),
+                Check::new("ilp.backend.would_block", Policy::ReportOnly),
+                Check::new("ilp.backend.codec_rejects", Policy::ReportOnly),
+                Check::new("non_ilp.backend.sent", Policy::ReportOnly),
             ],
         },
     ]

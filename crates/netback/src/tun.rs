@@ -91,6 +91,12 @@ pub struct TunBackend {
     pub unroutable: u64,
     /// Local write failures.
     pub send_errors: u64,
+    /// Receive polls that found the device empty (`EWOULDBLOCK`).
+    pub would_block: u64,
+    /// Packets currently queued across all endpoints.
+    queued: usize,
+    /// High-water mark of `queued` (slots recycle at `SLOTS`).
+    pub peak_queued: usize,
 }
 
 impl TunBackend {
@@ -147,6 +153,9 @@ impl TunBackend {
             parse_errors: 0,
             unroutable: 0,
             send_errors: 0,
+            would_block: 0,
+            queued: 0,
+            peak_queued: 0,
         })
     }
 
@@ -167,7 +176,10 @@ impl TunBackend {
             let n = match self.dev.read(&mut buf) {
                 Ok(0) => return,
                 Ok(n) => n,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.would_block += 1;
+                    return;
+                }
                 Err(_) => return,
             };
             let packet = &buf[..n];
@@ -194,6 +206,8 @@ impl TunBackend {
             m.compute(30);
             m.phase_pop();
             self.endpoints[idx].queue.push_back(Datagram { addr: slot, len: n });
+            self.queued += 1;
+            self.peak_queued = self.peak_queued.max(self.queued);
         }
     }
 }
@@ -245,7 +259,11 @@ impl KernelPart for TunBackend {
 
     fn recv_into<M: Mem>(&mut self, m: &mut M, id: EndpointId) -> Option<Datagram> {
         self.drain_device(m);
-        self.endpoints[id.index()].queue.pop_front()
+        let d = self.endpoints[id.index()].queue.pop_front();
+        if d.is_some() {
+            self.queued -= 1;
+        }
+        d
     }
 
     fn pending(&self, id: EndpointId) -> usize {
@@ -254,9 +272,15 @@ impl KernelPart for TunBackend {
 
     fn counters(&self) -> KernelCounters {
         KernelCounters {
+            sent: self.sent,
+            received: self.received,
             dropped: self.send_errors,
             corrupted: self.parse_errors,
             unroutable: self.unroutable,
+            would_block: self.would_block,
+            codec_rejects: self.parse_errors,
+            queue_peak: self.peak_queued as u64,
+            queue_capacity: SLOTS as u64,
         }
     }
 }

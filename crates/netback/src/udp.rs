@@ -78,6 +78,12 @@ pub struct UdpBackend {
     pub unroutable: u64,
     /// Local send failures (no peer yet, or the OS refused).
     pub send_errors: u64,
+    /// Receive polls that found the socket empty (`EWOULDBLOCK`).
+    pub would_block: u64,
+    /// Datagrams currently queued across all endpoints.
+    queued: usize,
+    /// High-water mark of `queued` (slots recycle at `SLOTS`).
+    pub peak_queued: usize,
 }
 
 impl UdpBackend {
@@ -109,6 +115,9 @@ impl UdpBackend {
             decode_errors: 0,
             unroutable: 0,
             send_errors: 0,
+            would_block: 0,
+            queued: 0,
+            peak_queued: 0,
         })
     }
 
@@ -162,7 +171,10 @@ impl UdpBackend {
         loop {
             let (n, from) = match self.socket.recv_from(&mut buf) {
                 Ok(ok) => ok,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.would_block += 1;
+                    return;
+                }
                 // Treat transient errors (e.g. ECONNREFUSED bounced back
                 // on Linux) like an empty socket; TCP retransmits.
                 Err(_) => return,
@@ -196,6 +208,8 @@ impl UdpBackend {
             m.compute(30);
             m.phase_pop();
             self.endpoints[idx].queue.push_back(Datagram { addr: slot, len: inner.len() });
+            self.queued += 1;
+            self.peak_queued = self.peak_queued.max(self.queued);
         }
     }
 }
@@ -260,7 +274,11 @@ impl KernelPart for UdpBackend {
 
     fn recv_into<M: Mem>(&mut self, m: &mut M, id: EndpointId) -> Option<Datagram> {
         self.drain_socket(m);
-        self.endpoints[id.index()].queue.pop_front()
+        let d = self.endpoints[id.index()].queue.pop_front();
+        if d.is_some() {
+            self.queued -= 1;
+        }
+        d
     }
 
     fn pending(&self, id: EndpointId) -> usize {
@@ -269,9 +287,15 @@ impl KernelPart for UdpBackend {
 
     fn counters(&self) -> KernelCounters {
         KernelCounters {
+            sent: self.sent,
+            received: self.received,
             dropped: self.send_errors,
             corrupted: self.decode_errors,
             unroutable: self.unroutable,
+            would_block: self.would_block,
+            codec_rejects: self.decode_errors,
+            queue_peak: self.peak_queued as u64,
+            queue_capacity: SLOTS as u64,
         }
     }
 }
@@ -350,7 +374,14 @@ mod tests {
             assert_eq!(m.read_u8(d.addr + IP_HEADER_LEN + TCP_HEADER_LEN + i), 0xC0 + i as u8);
         }
         assert_eq!(b.received, 1);
-        assert_eq!(b.counters(), KernelCounters::default());
+        let c = b.counters();
+        assert_eq!((c.sent, c.received), (0, 1));
+        assert_eq!((c.dropped, c.corrupted, c.unroutable, c.codec_rejects), (0, 0, 0, 0));
+        assert_eq!(c.queue_peak, 1);
+        assert_eq!(c.queue_capacity, SLOTS as u64);
+        // The polling recv loop sees EWOULDBLOCK while the datagram is
+        // in flight; the counter surfaces that rather than hiding it.
+        assert_eq!(c.would_block, b.would_block);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::path::Path;
 use crate::json::Json;
 use crate::recorder::Recorder;
 use crate::span::{Counter, Layer, Metric, PathLabel, Stage};
+use crate::trace::TraceRing;
 
 /// Render a recorder in Prometheus text exposition format. Counter and
 /// work-matrix series carry `# TYPE … counter`; histogram series emit
@@ -57,6 +58,37 @@ pub fn prometheus_text(r: &Recorder) -> String {
     }
 
     out
+}
+
+/// Render a trace ring as Chrome `trace_event` JSON (the JSON Array
+/// Format consumed by `chrome://tracing` and Perfetto's legacy
+/// importer). Each trace event becomes an instant event (`"ph": "i"`,
+/// thread scope): virtual ticks map 1:1 to microseconds, connections
+/// map to `tid` so every connection gets its own timeline row, and the
+/// event kind becomes the slice name. A leading `process_name` metadata
+/// event carries the caller's `label` — arbitrary text, escaped by the
+/// JSON renderer like everything else.
+pub fn chrome_trace(trace: &TraceRing, label: &str) -> Json {
+    let mut events = vec![Json::obj()
+        .set("name", Json::Str("process_name".to_string()))
+        .set("ph", Json::Str("M".to_string()))
+        .set("pid", Json::U64(0))
+        .set("tid", Json::U64(0))
+        .set("args", Json::obj().set("name", Json::Str(label.to_string())))];
+    events.extend(trace.iter().map(|e| {
+        Json::obj()
+            .set("name", Json::Str(e.kind.name().to_string()))
+            .set("cat", Json::Str("ilp".to_string()))
+            .set("ph", Json::Str("i".to_string()))
+            .set("s", Json::Str("t".to_string()))
+            .set("ts", Json::U64(e.tick))
+            .set("pid", Json::U64(0))
+            .set("tid", Json::U64(e.conn as u64))
+            .set("args", Json::obj().set("value", Json::U64(e.value)))
+    }));
+    Json::obj()
+        .set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", Json::Str("ms".to_string()))
 }
 
 /// Write a JSON run report to `path`, pretty-printed with a trailing
@@ -115,6 +147,37 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_escaping_roundtrip() {
+        let mut r = Recorder::new(8);
+        r.tick(5);
+        r.event(EventKind::ChunkSent, 3, 42);
+        r.tick(9);
+        r.event(EventKind::Retransmit, 3, 1);
+        // A hostile label: quotes, backslashes, control chars, unicode.
+        let label = "run \"7\" \\ tab\tnewline\n nul\u{0} ⏱";
+        let j = chrome_trace(r.trace(), label);
+        // The rendered bytes parse back to the identical tree — the
+        // escaping is exercised end to end through the json roundtrip.
+        let text = j.render();
+        let back = crate::json::parse(&text).expect("chrome trace JSON parses");
+        assert_eq!(back, j);
+        let events = back.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(events.len(), 3, "metadata + two instants");
+        assert_eq!(events[0].get("ph").and_then(|p| p.as_str()), Some("M"));
+        assert_eq!(
+            events[0].get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()),
+            Some(label),
+            "label survives escaping byte-for-byte"
+        );
+        assert_eq!(events[1].get("name").and_then(|n| n.as_str()), Some("chunk_sent"));
+        assert_eq!(events[1].get("ts"), Some(&Json::U64(5)));
+        assert_eq!(events[1].get("tid"), Some(&Json::U64(3)));
+        assert_eq!(events[2].get("name").and_then(|n| n.as_str()), Some("retransmit"));
+        assert_eq!(events[2].get("ts"), Some(&Json::U64(9)));
+        assert_eq!(back.get("displayTimeUnit").and_then(|u| u.as_str()), Some("ms"));
     }
 
     #[test]

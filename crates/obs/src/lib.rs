@@ -27,7 +27,13 @@
 //!   virtual-clock window, with tiered 2× coarsening of old windows so
 //!   arbitrarily long runs fit in bounded memory, window-aligned merge
 //!   across shard recorders, and an ASCII sparkline renderer;
-//! * [`expo`] — exposition: Prometheus-style text dump and the
+//! * [`health`] — the cross-layer health engine: per-connection flight
+//!   recorders (tiny snapshot rings fed through the same compile-away
+//!   hook), named anomaly detectors (retransmit storm, RTO spiral,
+//!   stall, queue saturation, fairness collapse) run as pure functions
+//!   over merged telemetry, and diagnostic-bundle assembly;
+//! * [`expo`] — exposition: Prometheus-style text dump, a Chrome
+//!   `trace_event` exporter for the trace ring, and the
 //!   machine-readable run-report writer behind the `BENCH_*.json` files.
 //!
 //! The crate is deliberately zero-dependency (std only) and knows
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod expo;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -46,10 +53,14 @@ pub mod span;
 pub mod timeseries;
 pub mod trace;
 
-pub use expo::{prometheus_text, write_report};
+pub use expo::{chrome_trace, prometheus_text, write_report};
+pub use health::{ConnView, Detector, FlightRing, HealthConfig, QueueStat, Verdict};
 pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::Recorder;
-pub use span::{Counter, EventKind, Layer, Metric, NoopObserver, PathLabel, SpanObserver, Stage, Work};
+pub use span::{
+    Counter, EventKind, FlightEdge, FlightSnap, Layer, Metric, NoopObserver, PathLabel,
+    SpanObserver, Stage, Work,
+};
 pub use timeseries::{sparkline, SeriesConfig, SeriesRecorder};
 pub use trace::{TraceEvent, TraceRing};

@@ -12,11 +12,15 @@
 //! attaching it does not perturb simulated costs: throughput measured
 //! with and without observation is bit-identical.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::health::FlightRing;
 use crate::hist::Histogram;
 use crate::json::Json;
-use crate::span::{Counter, EventKind, Layer, Metric, PathLabel, SpanObserver, Stage, Work};
+use crate::span::{
+    Counter, EventKind, FlightSnap, Layer, Metric, PathLabel, SpanObserver, Stage, Work,
+};
 use crate::timeseries::{SeriesConfig, SeriesRecorder};
 use crate::trace::{TraceEvent, TraceRing};
 
@@ -37,6 +41,9 @@ pub struct Recorder {
     trace: TraceRing,
     /// Windowed view of counters and samples (see [`crate::timeseries`]).
     series: SeriesRecorder,
+    /// Per-connection flight recorders, keyed by *global* connection id
+    /// (see [`crate::health`]).
+    flights: BTreeMap<u32, FlightRing>,
     now: u64,
 }
 
@@ -56,8 +63,14 @@ impl Recorder {
             work: [[[0; N_LAYERS]; N_STAGES]; N_PATHS],
             trace: TraceRing::new(trace_capacity),
             series: SeriesRecorder::new(series),
+            flights: BTreeMap::new(),
             now: 0,
         }
+    }
+
+    /// Per-connection flight recorders, keyed by global connection id.
+    pub fn flights(&self) -> &BTreeMap<u32, FlightRing> {
+        &self.flights
     }
 
     /// The windowed time series every counter delta and sample also
@@ -143,6 +156,9 @@ impl Recorder {
         }
         self.trace.merge_from(&other.trace);
         self.series.merge_from(&other.series);
+        for (&conn, ring) in &other.flights {
+            self.flights.entry(conn).or_default().merge_from(ring);
+        }
         self.now = self.now.max(other.now);
     }
 
@@ -212,12 +228,18 @@ impl Recorder {
             .set("overwritten", Json::U64(self.trace.overwritten()))
             .set("events", Json::Arr(events));
 
+        let mut flights = Json::obj();
+        for (conn, ring) in &self.flights {
+            flights = flights.set(&conn.to_string(), ring.to_json());
+        }
+
         Json::obj()
             .set("counters", counters)
             .set("metrics", metrics)
             .set("work", work)
             .set("trace", trace)
             .set("series", self.series.to_json())
+            .set("flights", flights)
     }
 }
 
@@ -249,6 +271,10 @@ impl SpanObserver for Recorder {
 
     fn event(&mut self, kind: EventKind, conn: u32, value: u64) {
         self.trace.push(TraceEvent { tick: self.now, conn, kind, value });
+    }
+
+    fn flight(&mut self, conn: u32, snap: FlightSnap) {
+        self.flights.entry(conn).or_default().push(self.now, snap);
     }
 }
 

@@ -171,6 +171,9 @@ pub enum Counter {
     FaultCorruptions,
     /// Datagrams for a port nobody listens on.
     Unroutable,
+    /// RTO timer expiries that doubled the retransmission timeout
+    /// (exponential back-off steps in `utcp::conn`).
+    RtoBackoffs,
 }
 
 impl Counter {
@@ -189,11 +192,12 @@ impl Counter {
             Counter::FaultDrops => "fault_drops",
             Counter::FaultCorruptions => "fault_corruptions",
             Counter::Unroutable => "unroutable",
+            Counter::RtoBackoffs => "rto_backoffs",
         }
     }
 
     /// All counters, in index order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 13] = [
         Counter::ChunksSent,
         Counter::ChunksDelivered,
         Counter::RejectChecksum,
@@ -206,6 +210,7 @@ impl Counter {
         Counter::FaultDrops,
         Counter::FaultCorruptions,
         Counter::Unroutable,
+        Counter::RtoBackoffs,
     ];
 
     /// Dense index for array storage.
@@ -275,11 +280,14 @@ pub enum EventKind {
     Retransmit,
     /// A connection delivered its last chunk (value: duration ticks).
     Completed,
+    /// An RTO expiry doubled a connection's timeout (value: the new
+    /// RTO in ticks).
+    RtoBackoff,
 }
 
 impl EventKind {
     /// All event kinds, in index order.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 8] = [
         EventKind::SynSent,
         EventKind::Established,
         EventKind::ChunkSent,
@@ -287,6 +295,7 @@ impl EventKind {
         EventKind::ChunkRejected,
         EventKind::Retransmit,
         EventKind::Completed,
+        EventKind::RtoBackoff,
     ];
 
     /// Dense index, matching [`EventKind::ALL`] order.
@@ -299,6 +308,7 @@ impl EventKind {
             EventKind::ChunkRejected => 4,
             EventKind::Retransmit => 5,
             EventKind::Completed => 6,
+            EventKind::RtoBackoff => 7,
         }
     }
 
@@ -312,8 +322,59 @@ impl EventKind {
             EventKind::ChunkRejected => "chunk_rejected",
             EventKind::Retransmit => "retransmit",
             EventKind::Completed => "completed",
+            EventKind::RtoBackoff => "rto_backoff",
         }
     }
+}
+
+/// Which state-machine edge produced a flight-recorder snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEdge {
+    /// A segment left the connection (new data or retransmit).
+    Send,
+    /// Inbound processing changed connection state (ACK advanced
+    /// `snd_una`, data advanced `rcv_nxt`, or the window moved).
+    Recv,
+    /// The RTO fired and backed off exponentially.
+    Rto,
+}
+
+impl FlightEdge {
+    /// Stable lowercase name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEdge::Send => "send",
+            FlightEdge::Recv => "recv",
+            FlightEdge::Rto => "rto",
+        }
+    }
+
+    /// All edges, in index order.
+    pub const ALL: [FlightEdge; 3] = [FlightEdge::Send, FlightEdge::Recv, FlightEdge::Rto];
+
+    /// Dense index for array storage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One flight-recorder snapshot: the sender-side TCP state at an edge.
+/// The virtual-clock tick is stamped by the consuming observer from the
+/// last [`SpanObserver::tick`], matching trace-event discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightSnap {
+    /// Which edge fired.
+    pub edge: FlightEdge,
+    /// Oldest unacknowledged sequence number (`snd_una`).
+    pub una: u32,
+    /// Next sequence number to send (`snd_nxt`).
+    pub nxt: u32,
+    /// Next sequence number expected from the peer (`rcv_nxt`).
+    pub rcv: u32,
+    /// Congestion window in bytes.
+    pub cwnd: u32,
+    /// Current retransmission timeout in virtual ticks.
+    pub rto: u32,
 }
 
 /// The hook trait instrumented code reports through.
@@ -361,6 +422,13 @@ pub trait SpanObserver {
     fn event(&mut self, kind: EventKind, conn: u32, value: u64) {
         let _ = (kind, conn, value);
     }
+
+    /// Append a flight-recorder snapshot for connection `conn`, stamped
+    /// with the last [`SpanObserver::tick`].
+    #[inline]
+    fn flight(&mut self, conn: u32, snap: FlightSnap) {
+        let _ = (conn, snap);
+    }
 }
 
 /// The observer that observes nothing, at zero cost.
@@ -400,6 +468,11 @@ impl<O: SpanObserver> SpanObserver for &mut O {
     fn event(&mut self, kind: EventKind, conn: u32, value: u64) {
         (**self).event(kind, conn, value);
     }
+
+    #[inline]
+    fn flight(&mut self, conn: u32, snap: FlightSnap) {
+        (**self).flight(conn, snap);
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +495,12 @@ mod tests {
         }
         for (i, p) in PathLabel::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
+        }
+        for (i, e) in FlightEdge::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        for (i, e) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
         }
     }
 

@@ -359,19 +359,27 @@ impl SeriesRecorder {
 }
 
 /// Render values as a one-line unicode sparkline (`▁▂▃▄▅▆▇█`), scaled
-/// to the maximum. Zero (and an all-zero or empty input) renders as the
-/// lowest bar so the timeline keeps its width.
+/// to the maximum. An empty input renders as the empty string; zero,
+/// negative and non-finite values render as the lowest bar; any
+/// *positive* value renders at least one step above it, so a trickle
+/// next to a spike stays visibly nonzero instead of rounding down into
+/// the zero glyph. A single positive sample is its own maximum and
+/// renders as the full bar.
 pub fn sparkline(values: &[f64]) -> String {
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    let max = values
+        .iter()
+        .cloned()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
     values
         .iter()
         .map(|&v| {
-            if max <= 0.0 || v <= 0.0 {
+            if max <= 0.0 || !v.is_finite() || v <= 0.0 {
                 GLYPHS[0]
             } else {
                 let idx = (v / max * 7.0).round() as usize;
-                GLYPHS[idx.min(7)]
+                GLYPHS[idx.clamp(1, 7)]
             }
         })
         .collect()
@@ -544,5 +552,21 @@ mod tests {
         assert_eq!(s.chars().count(), 3);
         assert!(s.ends_with('█'));
         assert!(s.starts_with('▂'), "small nonzero values rise above the zero glyph: {s}");
+    }
+
+    #[test]
+    fn sparkline_edge_cases_render_sanely() {
+        // A single sample is its own maximum: full bar.
+        assert_eq!(sparkline(&[5.0]), "█");
+        // A single zero (or negative) sample is the floor, not a panic.
+        assert_eq!(sparkline(&[0.0]), "▁");
+        assert_eq!(sparkline(&[-3.0]), "▁");
+        // A trickle next to a spike must stay distinguishable from
+        // zero: 1/1000 of max used to round down into the zero glyph.
+        assert_eq!(sparkline(&[0.001, 1000.0, 0.0]), "▂█▁");
+        // Non-finite values neither panic nor poison the scale.
+        assert_eq!(sparkline(&[f64::NAN, 2.0]), "▁█");
+        assert_eq!(sparkline(&[f64::INFINITY, 2.0]), "▁█");
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN]), "▁▁");
     }
 }

@@ -28,7 +28,10 @@ use ilp_core::Reject;
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::Mem;
-use obs::{Counter, EventKind, Metric, NoopObserver, PathLabel, SpanObserver};
+use obs::{
+    Counter, EventKind, Json, Metric, NoopObserver, PathLabel, Recorder, SpanObserver,
+};
+use obs::{ConnView, HealthConfig, QueueStat, Verdict};
 pub use rpcapp::app::Path;
 use utcp::{Connection, EndpointId, FaultPlan, KernelPart, Loopback, SendError, UtcpConfig};
 
@@ -192,6 +195,10 @@ struct ClientSide {
     last_syn: Option<u64>,
     /// Tick of the very first SYN (for handshake-latency samples).
     first_syn: Option<u64>,
+    /// Last virtual tick a chunk was accepted (0 = never). Plain host
+    /// bookkeeping for the health engine's stall detector — no [`Mem`]
+    /// traffic, so it cannot perturb the simulated run.
+    last_delivery_tick: u64,
 }
 
 /// What a finished run did, across all connections.
@@ -302,7 +309,10 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 ring_capacity: cfg.ring_capacity,
                 ..Default::default()
             };
-            let tx = Connection::new(space, &mut lb, tx_cfg, server_iss(g));
+            let mut tx = Connection::new(space, &mut lb, tx_cfg, server_iss(g));
+            // Flight-recorder rings are keyed by this id; using the
+            // *global* index keeps shard merges a clean union.
+            tx.set_obs_id(g as u32);
             let file = space.alloc_kind("srv_file", cfg.file_len.max(64), 64, RegionKind::AppData);
             table.insert(Session {
                 tx,
@@ -324,7 +334,8 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 ring_capacity: 256, // receive-only: the ring is unused
                 ..Default::default()
             };
-            let rx = Connection::new(space, &mut lb, rx_cfg, client_iss(g));
+            let mut rx = Connection::new(space, &mut lb, rx_cfg, client_iss(g));
+            rx.set_obs_id(g as u32);
             let ctrl_ep = lb.register(ctrl_port(g));
             let app_out =
                 space.alloc_kind("cli_out", cfg.file_len.max(64), 64, RegionKind::AppData);
@@ -343,6 +354,7 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 rejected: 0,
                 last_syn: None,
                 first_syn: None,
+                last_delivery_tick: 0,
             });
         }
         ScaleHarness {
@@ -689,6 +701,7 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                     Some(Ok(meta)) => {
                         c.bytes += u64::from(meta.data_len);
                         c.chunks += 1;
+                        c.last_delivery_tick = now;
                         if O::ENABLED {
                             obs.count(Counter::ChunksDelivered, 1);
                             obs.sample(Metric::ChunkBytes, u64::from(meta.data_len));
@@ -838,6 +851,60 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
     pub fn client_established(&self, i: usize) -> bool {
         self.clients[i].established
     }
+
+    /// Per-connection health views at the current instant, in global
+    /// connection order. These are the harness-side facts the
+    /// [`obs::health`] detectors cannot read from the recorder alone:
+    /// establishment/done state, sender RTO/cwnd/in-flight, the last
+    /// delivery tick, and the fairness snapshot shares.
+    pub fn health_views(&self) -> Vec<ConnView> {
+        let now = self.clock.now();
+        self.table
+            .iter()
+            .zip(&self.clients)
+            .enumerate()
+            .map(|(i, (sess, c))| ConnView {
+                conn: (self.cfg.conn_base + i) as u32,
+                established: c.established,
+                done: sess.state == SessionState::Done,
+                in_flight: sess.tx.in_flight(),
+                rto: sess.tx.rto(),
+                cwnd: sess.tx.cwnd(),
+                now,
+                // A connection that never delivered is measured from its
+                // establish tick, not from tick 0 — otherwise a slow
+                // handshake would read as a stall.
+                last_progress: c.last_delivery_tick.max(sess.stats.established_at),
+                delivered_bytes: c.bytes,
+                share_bytes: match &self.snapshot {
+                    Some(snap) => snap[i],
+                    None => c.bytes,
+                },
+                weight: c.weight,
+            })
+            .collect()
+    }
+
+    /// Kernel-part queue occupancy for the saturation detector.
+    pub fn queue_stat(&self) -> QueueStat {
+        let k = self.lb.counters();
+        QueueStat { peak: k.queue_peak, capacity: k.queue_capacity }
+    }
+
+    /// Run the health detectors over a recorder this harness filled.
+    pub fn health(&self, rec: &Recorder, cfg: &HealthConfig) -> Vec<Verdict> {
+        obs::health::analyze(rec, &self.health_views(), self.queue_stat(), cfg)
+    }
+
+    /// Full diagnostic bundle for this run: verdicts (under the default
+    /// thresholds) plus the supporting evidence — offender flight dumps,
+    /// series windows, queue stat, trace tail.
+    pub fn diagnostics(&self, rec: &Recorder) -> Json {
+        let views = self.health_views();
+        let queue = self.queue_stat();
+        let verdicts = obs::health::analyze(rec, &views, queue, &HealthConfig::default());
+        obs::health::bundle(rec, &views, queue, &verdicts)
+    }
 }
 
 /// Per-world initialisation: cipher key material + file patterns.
@@ -924,6 +991,28 @@ mod tests {
         // shares at first completion should still be near-fair.
         assert_eq!(report.payload_bytes, 3 * 12 * 1024);
         assert!(report.fairness > 0.9, "weighted fairness {}", report.fairness);
+    }
+
+    #[test]
+    fn clean_run_raises_no_health_verdicts() {
+        let mut space = AddressSpace::new();
+        let mut h = ScaleHarness::simplified(&mut space, ServerConfig::default());
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        h.init_world(&mut m);
+        let mut sched = RoundRobin::new();
+        let mut rec = Recorder::new(256);
+        h.run_observed(&mut m, &mut sched, Path::Ilp, &mut rec);
+        let verdicts = h.health(&rec, &HealthConfig::default());
+        assert!(verdicts.is_empty(), "clean loop-back run must be healthy: {verdicts:?}");
+        // Flight recorders exist for every connection (global ids) and
+        // the diagnostic bundle is well-formed even with no verdicts.
+        for i in 0..4 {
+            assert!(rec.flights().contains_key(&(i as u32)), "flight ring for conn {i}");
+        }
+        let bundle = h.diagnostics(&rec);
+        let text = bundle.render();
+        assert!(text.contains("\"verdicts\":[]"), "no verdicts in bundle: {text}");
     }
 
     #[test]

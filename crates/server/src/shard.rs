@@ -42,7 +42,7 @@ use std::time::{Duration, Instant};
 
 use memsim::layout::AddressSpace;
 use memsim::NativeMem;
-use obs::{Json, Recorder};
+use obs::{ConnView, HealthConfig, Json, QueueStat, Recorder, Verdict};
 
 use crate::harness::{AggregateReport, Path, ScaleHarness, ServerConfig, WorldInit};
 use crate::sched::{DeficitRoundRobin, RoundRobin, Scheduler};
@@ -132,6 +132,11 @@ pub struct ShardOutcome {
     /// First corrupted local connection index, `None` when every client
     /// reassembled exactly its own file.
     pub corrupted: Option<usize>,
+    /// End-of-run health views for this shard's slice, in global
+    /// connection order (ids already carry `conn_base`).
+    pub views: Vec<ConnView>,
+    /// This shard's kernel-part queue occupancy.
+    pub queue: QueueStat,
     /// Wall-clock time this worker spent building and driving its world.
     pub wall: Duration,
 }
@@ -180,6 +185,53 @@ impl ShardedReport {
         self.shards
             .iter()
             .find_map(|s| s.corrupted.map(|local| (s.shard, s.config.conn_base + local)))
+    }
+
+    /// Health views across every shard, concatenated in shard order.
+    /// Shard slices are contiguous in the global connection space, so
+    /// the result is sorted by global connection id — exactly what the
+    /// unsharded harness would return for the whole config.
+    pub fn health_views(&self) -> Vec<ConnView> {
+        self.shards.iter().flat_map(|s| s.views.iter().copied()).collect()
+    }
+
+    /// The queue stat of the most-pressed shard — highest peak/capacity
+    /// ratio, first shard winning ties. Queue occupancy is a per-backend
+    /// fact (each shard owns its kernel part), so the merged view
+    /// reports the worst one; with `S = 1` this is exactly the unsharded
+    /// stat.
+    pub fn queue_stat(&self) -> QueueStat {
+        let mut it = self.shards.iter().map(|s| s.queue);
+        let Some(mut worst) = it.next() else { return QueueStat::default() };
+        for q in it {
+            let presses_harder = match (worst.capacity, q.capacity) {
+                (0, 0) => q.peak > worst.peak,
+                // A bounded queue with a known ratio outranks an
+                // unknown-capacity one, which can't alarm anyway.
+                (0, _) => true,
+                (_, 0) => false,
+                (wc, qc) => q.peak * wc > worst.peak * qc,
+            };
+            if presses_harder {
+                worst = q;
+            }
+        }
+        worst
+    }
+
+    /// Run the health detectors over the merged telemetry.
+    pub fn health(&self, cfg: &HealthConfig) -> Vec<Verdict> {
+        obs::health::analyze(&self.merged, &self.health_views(), self.queue_stat(), cfg)
+    }
+
+    /// Full diagnostic bundle over the merged telemetry (default
+    /// thresholds). With `S = 1` this renders byte-identical to
+    /// [`ScaleHarness::diagnostics`] on the unsharded harness.
+    pub fn diagnostics(&self) -> Json {
+        let views = self.health_views();
+        let queue = self.queue_stat();
+        let verdicts = obs::health::analyze(&self.merged, &views, queue, &HealthConfig::default());
+        obs::health::bundle(&self.merged, &views, queue, &verdicts)
     }
 
     /// The run as JSON: shard-labelled sections (slice, rounds, bytes,
@@ -237,12 +289,16 @@ fn run_shard(
     let mut recorder = Recorder::new(trace_capacity);
     let report = h.run_observed(&mut m, sched.as_mut(), path, &mut recorder);
     let corrupted = h.verify_outputs(&mut m);
+    let views = h.health_views();
+    let queue = h.queue_stat();
     ShardOutcome {
         shard,
         config: cfg.clone(),
         report,
         recorder,
         corrupted,
+        views,
+        queue,
         wall: started.elapsed(),
     }
 }

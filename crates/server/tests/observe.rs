@@ -5,7 +5,10 @@
 
 use memsim::layout::AddressSpace;
 use memsim::NativeMem;
-use obs::{Counter, EventKind, Metric, Recorder};
+use obs::{
+    Counter, Detector, EventKind, HealthConfig, Metric, QueueStat, Recorder, SeriesConfig,
+    SeriesRecorder, SpanObserver,
+};
 use server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
 use utcp::FaultPlan;
 
@@ -154,4 +157,81 @@ fn series_windows_tile_the_run_and_account_for_every_event() {
         .filter(|&&v| v > 0)
         .count();
     assert!(nonzero > 1, "deliveries should spread across windows");
+}
+
+#[test]
+fn window_sealed_exactly_at_a_2x_coarsening_boundary_keeps_exact_totals() {
+    // ring = 2, so the third sealed base window triggers the first
+    // cascade. Distinct per-window counts (window w carries w+1) make
+    // any loss or double-count at the boundary visible in the sum.
+    let mut s = SeriesRecorder::new(SeriesConfig { window_ticks: 16, ring: 2 });
+    let mut expect = 0u64;
+    for w in 0..6u64 {
+        s.tick(w * 16);
+        s.count(Counter::Retransmits, w + 1);
+        expect += w + 1;
+    }
+    s.tick(6 * 16); // seals window 5; window 6 is the fresh open one
+
+    // Both cascade paths ran: window 1 was absorbed into the parent
+    // its even sibling opened (start % parent_span != 0), and window 2
+    // opened a new parent exactly at the 2× boundary
+    // (start % parent_span == 0). The retained shape is two span-2
+    // parents, two fresh base windows, and the open window.
+    let wt = s.config().window_ticks;
+    let spans: Vec<u64> = s.iter().map(|w| w.ticks(wt) / wt).collect();
+    assert_eq!(spans, [2, 2, 1, 1, 1], "coarsened history then fresh windows");
+
+    // The seam tiles exactly: each window starts where the previous
+    // one (coarsened or not) ended.
+    let mut next = 0;
+    for w in s.iter() {
+        assert_eq!(w.start_tick(wt), next, "seam must not gap or overlap");
+        next = w.start_tick(wt) + w.ticks(wt);
+    }
+
+    // And no count crossed the boundary twice or fell out: the span-2
+    // parents hold exactly their children's sums, the total is exact.
+    let vals = s.counter_values(Counter::Retransmits);
+    assert_eq!(vals[0], 1 + 2, "parent absorbed windows 0 and 1 exactly");
+    assert_eq!(vals[1], 3 + 4, "parent opened at the 2x boundary absorbed 2 and 3");
+    assert_eq!(vals.iter().sum::<u64>(), expect);
+}
+
+#[test]
+fn detector_thresholds_across_the_coarsened_fresh_seam_keep_exact_totals() {
+    // 3 retransmits per base window with zero deliveries: below the
+    // storm floor (4) while the windows are fresh, above it once two
+    // siblings coarsen into one span-2 window. The detector must judge
+    // each retained window by its exact aggregated count — firing on
+    // the coarsened side of the seam, staying quiet on the fresh side —
+    // with nothing lost or double-counted across the boundary.
+    let hc = HealthConfig::default();
+    let mut rec = Recorder::with_series(16, SeriesConfig { window_ticks: 16, ring: 2 });
+    for w in 0..8u64 {
+        rec.tick(w * 16);
+        rec.count(Counter::Retransmits, 3);
+    }
+    rec.tick(8 * 16); // seal window 7
+
+    let total: u64 = rec.series().counter_values(Counter::Retransmits).iter().sum();
+    assert_eq!(total, 8 * 3, "windowing loses nothing");
+
+    let verdicts = obs::health::analyze(&rec, &[], QueueStat::default(), &hc);
+    assert!(!verdicts.is_empty(), "coarsened windows must cross the floor");
+    let wt = rec.series().config().window_ticks;
+    for v in &verdicts {
+        assert_eq!(v.detector, Detector::RetransmitStorm);
+        assert!(
+            v.window_ticks.unwrap() >= 2 * wt,
+            "only coarsened windows reach the floor: {v:?}"
+        );
+        assert_eq!(v.measured as u64, 6, "exact child sum, not an estimate");
+    }
+    // The verdicts' windows plus the quiet fresh windows account for
+    // every retransmit: 3 coarsened span-2 windows fired (6 each), the
+    // 2 fresh base windows (3 each) stayed below the floor.
+    let fired: u64 = verdicts.iter().map(|v| v.measured as u64).sum();
+    assert_eq!(verdicts.len(), 3);
+    assert_eq!(fired + 2 * 3, total, "seam accounting is exact");
 }

@@ -71,6 +71,18 @@ fn s1_sharded_run_is_byte_identical_to_unsharded() {
         assert_eq!(a.start_tick(wt), b.start_tick(wt));
         assert_eq!(a.ticks(wt), b.ticks(wt));
     }
+
+    // Health layer: views, verdicts, and the diagnostic bundle are all
+    // byte-identical across the S=1 seam.
+    assert_eq!(sharded.health_views(), h.health_views());
+    assert_eq!(sharded.queue_stat(), h.queue_stat());
+    let cfg_h = obs::HealthConfig::default();
+    assert_eq!(sharded.health(&cfg_h), h.health(&rec, &cfg_h));
+    assert_eq!(
+        sharded.diagnostics().render(),
+        h.diagnostics(&rec).render(),
+        "S=1 diagnostic bundle must reproduce the unsharded bundle byte-for-byte"
+    );
 }
 
 #[test]

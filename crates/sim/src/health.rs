@@ -1,0 +1,366 @@
+//! Health-engine oracles: seeded fault shapes that *must* trip their
+//! detector, clean seeds that must trip none, and the proof that the
+//! health machinery never perturbs the run it watches.
+//!
+//! Each trigger scenario is a deterministic world (fixed config, fixed
+//! fault plan) whose verdict list is pinned **exactly** — not "storm
+//! fired" but "these detectors and no others" — so a detector that
+//! starts over- or under-firing breaks the suite immediately. The clean
+//! sweep is the false-positive oracle: every seed-derived clean
+//! workload must produce zero verdicts, and its observed run must match
+//! its unobserved twin field for field (the recorder, flight rings and
+//! health views are host-side bookkeeping with no [`memsim::Mem`]
+//! traffic, so attaching them cannot change what the protocol does).
+
+use cipher::SimplifiedSafer;
+use memsim::layout::AddressSpace;
+use memsim::NativeMem;
+use obs::{Detector, HealthConfig, Recorder, SeriesConfig, Verdict};
+use server::{
+    AggregateReport, Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit,
+};
+use utcp::rng::XorShift64;
+use utcp::{FaultPlan, FaultProbs, Loopback};
+
+/// Series shape every health scenario records with: small windows so
+/// even short runs seal several and the storm detector sees real
+/// per-window structure (matches the DST runner's shape).
+fn health_recorder() -> Recorder {
+    Recorder::with_series(128, SeriesConfig { window_ticks: 16, ring: 4 })
+}
+
+/// The distinct detectors in a (sorted) verdict list, in order.
+pub fn detectors_of(verdicts: &[Verdict]) -> Vec<Detector> {
+    let mut out: Vec<Detector> = verdicts.iter().map(|v| v.detector).collect();
+    out.dedup();
+    out
+}
+
+/// A fault shape engineered to trip one specific detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Deterministic heavy drops: retransmissions outnumber deliveries
+    /// inside individual series windows.
+    Storm,
+    /// A clean start, then a total blackout: exponential back-off
+    /// spirals while `snd_una` freezes, and delivery stops for multiples
+    /// of the (capped) RTO.
+    Blackout,
+    /// A deliberately undersized kernel-part slot pool: the queue
+    /// high-water reaches capacity, where the loop-back's round-robin
+    /// slot recycling starts overwriting queued datagrams in place.
+    Saturation,
+    /// Skewed weights served by an unweighted scheduler: the
+    /// weight-normalised Jain index collapses.
+    Fairness,
+}
+
+impl Trigger {
+    /// Every trigger shape, in declaration order.
+    pub const ALL: [Trigger; 4] =
+        [Trigger::Storm, Trigger::Blackout, Trigger::Saturation, Trigger::Fairness];
+
+    /// Stable lower-case name (report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Trigger::Storm => "storm",
+            Trigger::Blackout => "blackout",
+            Trigger::Saturation => "saturation",
+            Trigger::Fairness => "fairness",
+        }
+    }
+
+    /// The exact detector set this shape must produce — nothing more,
+    /// nothing less.
+    pub fn expected(self) -> &'static [Detector] {
+        match self {
+            Trigger::Storm => &[Detector::RetransmitStorm],
+            // Two quiet connections retreating exponentially emit far
+            // too few retransmits per window to read as a storm — the
+            // blackout's signature is the spiral and the stall.
+            Trigger::Blackout => &[Detector::RtoSpiral, Detector::Stall],
+            Trigger::Saturation => &[Detector::RetransmitStorm, Detector::QueueSaturation],
+            Trigger::Fairness => &[Detector::FairnessCollapse],
+        }
+    }
+}
+
+/// Run one trigger scenario and verify its verdict list is exactly the
+/// pinned expectation. Returns the verdicts for reporting.
+pub fn run_trigger(trigger: Trigger) -> Result<Vec<Verdict>, String> {
+    let verdicts = match trigger {
+        Trigger::Storm => storm_world()?,
+        Trigger::Blackout => blackout_world()?,
+        Trigger::Saturation => saturation_world()?,
+        Trigger::Fairness => fairness_world()?,
+    };
+    let got = detectors_of(&verdicts);
+    if got != trigger.expected() {
+        return Err(format!(
+            "{}: expected detectors {:?}, got {:?} ({} verdicts)",
+            trigger.name(),
+            trigger.expected(),
+            got,
+            verdicts.len()
+        ));
+    }
+    Ok(verdicts)
+}
+
+/// Drive a default-loopback world to completion under a recorder and
+/// return its verdicts (plus harness + recorder for extra checks).
+fn run_to_completion(
+    cfg: ServerConfig,
+) -> Result<(Vec<Verdict>, AggregateReport, Recorder), String> {
+    let mut space = AddressSpace::new();
+    let mut h = ScaleHarness::simplified(&mut space, cfg);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut sched = RoundRobin::new();
+    let mut rec = health_recorder();
+    let report = h.run_observed(&mut m, &mut sched, Path::Ilp, &mut rec);
+    if let Some(i) = h.verify_outputs(&mut m) {
+        return Err(format!("client {i} reassembled a corrupted file"));
+    }
+    let verdicts = h.health(&rec, &HealthConfig::default());
+    Ok((verdicts, report, rec))
+}
+
+/// Heavy seeded drops: ~30% of datagrams (data *and* ACKs) vanish, so
+/// windows fill with RTO retransmissions while deliveries crawl — the
+/// storm detector's home ground. (Probabilistic rather than every-nth
+/// drops: a deterministic stride can phase-lock with the retransmission
+/// cadence and livelock the transfer.) The run still completes and
+/// still delivers every byte intact; a storm is a performance
+/// pathology, not a correctness failure.
+fn storm_world() -> Result<Vec<Verdict>, String> {
+    let cfg = ServerConfig {
+        n_conns: 4,
+        file_len: 32 * 1024,
+        chunk: 512,
+        faults: FaultPlan::seeded(7, FaultProbs { drop: 19_661, ..Default::default() }),
+        ..Default::default()
+    };
+    let (verdicts, report, _rec) = run_to_completion(cfg)?;
+    if report.retransmits == 0 {
+        return Err("storm: the drop plan forced no retransmissions".into());
+    }
+    Ok(verdicts)
+}
+
+/// Ticks of clean traffic before the blackout begins.
+const BLACKOUT_WARMUP: u64 = 10;
+
+/// Blackout length: long enough for the RTO to back off to its cap
+/// (8 → 16 → 32 → 64 → 128) and then idle past `stall_rtos` × that cap,
+/// short enough that the ~7 back-off flight entries per connection
+/// (two ring entries each) still fit the 16-slot flight ring beside the
+/// warm-up entries.
+const BLACKOUT_TICKS: u64 = 620;
+
+/// Clean start, then the network goes completely dark. Mid-transfer
+/// connections keep data in flight forever: back-offs spiral with
+/// `snd_una` frozen (RtoSpiral) and delivery stops for multiples of
+/// the capped RTO (Stall).
+fn blackout_world() -> Result<Vec<Verdict>, String> {
+    let cfg = ServerConfig {
+        n_conns: 2,
+        file_len: 64 * 1024,
+        chunk: 512,
+        ..Default::default()
+    };
+    let mut space = AddressSpace::new();
+    let mut h = ScaleHarness::simplified(&mut space, cfg);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut sched = RoundRobin::new();
+    let mut rec = health_recorder();
+    let mut run = h.begin_run::<Recorder>();
+    for _ in 0..BLACKOUT_WARMUP {
+        if !h.step(&mut m, &mut sched, Path::Ilp, &mut rec, &mut run) {
+            return Err("blackout: transfer finished before the blackout".into());
+        }
+    }
+    h.lb.set_faults(FaultPlan { drop_every: 1, ..Default::default() });
+    for _ in 0..BLACKOUT_TICKS {
+        if !h.step(&mut m, &mut sched, Path::Ilp, &mut rec, &mut run) {
+            return Err("blackout: transfer finished under a total blackout".into());
+        }
+    }
+    let verdicts = h.health(&rec, &HealthConfig::default());
+    // Both connections must be implicated by the per-connection
+    // detectors — the blackout is global.
+    for det in [Detector::RtoSpiral, Detector::Stall] {
+        let conns: Vec<u32> =
+            verdicts.iter().filter(|v| v.detector == det).filter_map(|v| v.conn).collect();
+        if conns != [0, 1] {
+            return Err(format!("blackout: {} named conns {conns:?}, want [0, 1]", det.name()));
+        }
+    }
+    Ok(verdicts)
+}
+
+/// A slot pool far too small for the workload: four connections
+/// bursting into ten slots. The high-water hits capacity (the
+/// loop-back then recycles slots round-robin, overwriting queued
+/// datagrams in place), checksum rejections force retransmission
+/// storms, and the transfer still completes intact — exactly the
+/// incident the saturation verdict exists to explain.
+fn saturation_world() -> Result<Vec<Verdict>, String> {
+    let cfg = ServerConfig {
+        n_conns: 4,
+        file_len: 4096,
+        chunk: 512,
+        ..Default::default()
+    };
+    let mut space = AddressSpace::new();
+    let cipher = SimplifiedSafer::alloc(&mut space);
+    let lb = Loopback::with_capacity(&mut space, 10);
+    let mut h = ScaleHarness::with_cipher_over(&mut space, cipher, cfg, lb);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut sched = RoundRobin::new();
+    let mut rec = health_recorder();
+    let report = h.run_observed(&mut m, &mut sched, Path::Ilp, &mut rec);
+    if let Some(i) = h.verify_outputs(&mut m) {
+        return Err(format!("saturation: client {i} reassembled a corrupted file"));
+    }
+    if report.payload_bytes != 4 * 4096 {
+        return Err(format!("saturation: delivered {} bytes", report.payload_bytes));
+    }
+    Ok(h.health(&rec, &HealthConfig::default()))
+}
+
+/// Weights [32, 1] served by the *unweighted* round-robin: both
+/// connections get equal bytes, so the weight-normalised shares are
+/// 32:1 apart and the Jain index collapses to ≈ 0.53 — the operator
+/// misconfiguration (weighted workload, unweighted scheduler) the
+/// fairness verdict names.
+fn fairness_world() -> Result<Vec<Verdict>, String> {
+    let cfg = ServerConfig {
+        n_conns: 2,
+        file_len: 8 * 1024,
+        chunk: 512,
+        weights: vec![32, 1],
+        ..Default::default()
+    };
+    let (verdicts, report, _rec) = run_to_completion(cfg)?;
+    if report.fairness >= 0.6 {
+        return Err(format!("fairness: jain {} did not collapse", report.fairness));
+    }
+    Ok(verdicts)
+}
+
+/// A seed-derived *clean* workload: no faults, modest shapes. Must
+/// produce zero verdicts, and its observed run must equal its
+/// unobserved twin on every reported field.
+pub fn run_clean(seed: u64) -> Result<u64, String> {
+    let mut rng = XorShift64::new(seed);
+    let cfg = ServerConfig {
+        n_conns: 2 + rng.index(3),
+        file_len: 1024 << rng.index(3),
+        chunk: [256, 512, 1024][rng.index(3)],
+        ..Default::default()
+    };
+    let mut checks = 0u64;
+
+    let build = |cfg: &ServerConfig| {
+        let mut space = AddressSpace::new();
+        let h = ScaleHarness::simplified(&mut space, cfg.clone());
+        (space, h)
+    };
+
+    // Observed run, with health analysis.
+    let (space, mut h) = build(&cfg);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut sched = RoundRobin::new();
+    let mut rec = health_recorder();
+    let observed = h.run_observed(&mut m, &mut sched, Path::Ilp, &mut rec);
+    if let Some(i) = h.verify_outputs(&mut m) {
+        return Err(format!("clean seed {seed}: client {i} corrupted"));
+    }
+    checks += 1;
+    let verdicts = h.health(&rec, &HealthConfig::default());
+    if !verdicts.is_empty() {
+        return Err(format!(
+            "clean seed {seed}: false positive {:?}",
+            detectors_of(&verdicts)
+        ));
+    }
+    checks += 1;
+
+    // Unobserved twin: same config, fresh world, NoopObserver path.
+    let (space2, mut h2) = build(&cfg);
+    let mut arena2 = space2.native_arena();
+    let mut m2 = NativeMem::new(&mut arena2);
+    h2.init_world(&mut m2);
+    let mut sched2 = RoundRobin::new();
+    let plain = h2.run(&mut m2, &mut sched2, Path::Ilp);
+    let pairs = [
+        ("payload_bytes", observed.payload_bytes, plain.payload_bytes),
+        ("rounds", observed.rounds, plain.rounds),
+        ("retransmits", observed.retransmits, plain.retransmits),
+        ("rejected", observed.rejected, plain.rejected),
+    ];
+    for (what, a, b) in pairs {
+        if a != b {
+            return Err(format!("clean seed {seed}: observed/unobserved diverge on {what}: {a} vs {b}"));
+        }
+        checks += 1;
+    }
+    if observed.per_conn != plain.per_conn {
+        return Err(format!("clean seed {seed}: per-conn stats diverge under observation"));
+    }
+    if observed.fairness.to_bits() != plain.fairness.to_bits() {
+        return Err(format!("clean seed {seed}: fairness diverges under observation"));
+    }
+    checks += 2;
+    Ok(checks)
+}
+
+/// What an all-green clean-seed sweep did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CleanSweep {
+    /// Seeds executed.
+    pub seeds_run: usize,
+    /// Individual oracle evaluations that passed.
+    pub checks: u64,
+}
+
+/// Sweep `seeds` consecutive clean seeds. `Err` carries the first
+/// false positive or observed/unobserved divergence.
+pub fn clean_sweep(base_seed: u64, seeds: usize) -> Result<CleanSweep, String> {
+    let mut out = CleanSweep::default();
+    for i in 0..seeds {
+        let seed = base_seed.wrapping_add(i as u64);
+        out.seeds_run += 1;
+        out.checks += run_clean(seed)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_trigger_produces_exactly_its_verdicts() {
+        for t in Trigger::ALL {
+            let verdicts = run_trigger(t).unwrap_or_else(|e| panic!("{e}"));
+            assert!(!verdicts.is_empty(), "{} must fire", t.name());
+        }
+    }
+
+    #[test]
+    fn clean_seeds_produce_no_verdicts_and_observation_is_free() {
+        let sweep = clean_sweep(0xC0FFEE, 8).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(sweep.seeds_run, 8);
+        assert!(sweep.checks >= 8 * 8, "each seed runs its full oracle set");
+    }
+}
+

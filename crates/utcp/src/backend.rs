@@ -38,6 +38,10 @@ use memsim::Mem;
 /// for a real backend they count what the wire actually did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelCounters {
+    /// Datagrams handed to the network by this backend.
+    pub sent: u64,
+    /// Datagrams delivered to an endpoint by this backend.
+    pub received: u64,
     /// Datagrams that never reached a destination queue (injected
     /// drops on loop-back; local send failures on a socket backend).
     pub dropped: u64,
@@ -46,6 +50,32 @@ pub struct KernelCounters {
     pub corrupted: u64,
     /// Datagrams that arrived for a port nobody listens on.
     pub unroutable: u64,
+    /// Receive polls that found the descriptor empty (socket backends;
+    /// always 0 on loop-back, whose queues are exact).
+    pub would_block: u64,
+    /// Frames rejected by the wire codec before reaching a queue
+    /// (socket backends; always 0 on loop-back).
+    pub codec_rejects: u64,
+    /// High-water mark of datagrams queued across the backend at once.
+    pub queue_peak: u64,
+    /// Total queue capacity in datagrams (0 = unknown/unbounded).
+    pub queue_capacity: u64,
+}
+
+impl KernelCounters {
+    /// The counters as a JSON object (for obs reports and `BENCH_wire`).
+    pub fn to_json(&self) -> obs::Json {
+        obs::Json::obj()
+            .set("sent", obs::Json::U64(self.sent))
+            .set("received", obs::Json::U64(self.received))
+            .set("dropped", obs::Json::U64(self.dropped))
+            .set("corrupted", obs::Json::U64(self.corrupted))
+            .set("unroutable", obs::Json::U64(self.unroutable))
+            .set("would_block", obs::Json::U64(self.would_block))
+            .set("codec_rejects", obs::Json::U64(self.codec_rejects))
+            .set("queue_peak", obs::Json::U64(self.queue_peak))
+            .set("queue_capacity", obs::Json::U64(self.queue_capacity))
+    }
 }
 
 /// A kernel-part backend: datagram transport + per-port demultiplexing
@@ -118,9 +148,15 @@ impl KernelPart for Loopback {
 
     fn counters(&self) -> KernelCounters {
         KernelCounters {
+            sent: self.sent(),
+            received: self.received,
             dropped: self.dropped,
             corrupted: self.corrupted,
             unroutable: self.unroutable,
+            would_block: 0,
+            codec_rejects: 0,
+            queue_peak: self.peak_queued as u64,
+            queue_capacity: self.n_slots() as u64,
         }
     }
 }
@@ -149,7 +185,13 @@ mod tests {
         let d = lb.recv_into(&mut m, rx).expect("delivered");
         assert_eq!(d.len, crate::ip::IP_HEADER_LEN + crate::wire::TCP_HEADER_LEN + 8);
         assert!(lb.recv_into(&mut m, rx).is_none());
-        assert_eq!(lb.counters(), KernelCounters::default());
+        let c = lb.counters();
+        assert_eq!(c.sent, 1);
+        assert_eq!(c.received, 1);
+        assert_eq!(c.queue_peak, 1);
+        assert_eq!(c.queue_capacity, 64, "default slot pool");
+        assert_eq!((c.dropped, c.corrupted, c.unroutable), (0, 0, 0), "no faults");
+        assert_eq!((c.would_block, c.codec_rejects), (0, 0), "loop-back queues are exact");
         // Unroutable traffic is visible through the trait counters.
         KernelPart::send(&mut lb, &mut m, 1, 2, 81, user.at(0), user.at(64), 0);
         assert_eq!(lb.counters().unroutable, 1);

@@ -31,7 +31,10 @@ use ilp_core::Reject;
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
-use obs::{Layer, NoopObserver, PathLabel, SpanObserver, Stage, Work};
+use obs::{
+    Counter, EventKind, FlightEdge, FlightSnap, Layer, NoopObserver, PathLabel, SpanObserver,
+    Stage, Work,
+};
 
 use crate::backend::KernelPart;
 use crate::ip::{Ipv4Header, IP_HEADER_LEN, PROTO_TCP};
@@ -183,6 +186,11 @@ pub struct Connection {
     /// One timed segment at a time: (end sequence, tick sent). Karn's
     /// rule: invalidated on retransmission.
     rtt_probe: Option<(u32, u32)>,
+    /// Connection id stamped on flight-recorder snapshots and health
+    /// events. The harness overrides it with the *global* connection
+    /// index (shard `conn_base` + slot) so shard-merged flight maps
+    /// never collide; standalone connections default to the local port.
+    obs_id: u32,
     /// Statistics.
     pub stats: ConnStats,
 }
@@ -231,7 +239,32 @@ impl Connection {
             srtt8: 0,
             rttvar4: 0,
             rtt_probe: None,
+            obs_id: cfg.local_port as u32,
             stats: ConnStats::default(),
+        }
+    }
+
+    /// Override the id stamped on this connection's flight-recorder
+    /// snapshots (see the `obs_id` field).
+    pub fn set_obs_id(&mut self, id: u32) {
+        self.obs_id = id;
+    }
+
+    /// The id stamped on flight-recorder snapshots.
+    pub fn obs_id(&self) -> u32 {
+        self.obs_id
+    }
+
+    /// The sender-state snapshot the flight recorder retains at
+    /// send/recv/RTO edges.
+    fn flight_snap(&self, edge: FlightEdge) -> FlightSnap {
+        FlightSnap {
+            edge,
+            una: self.snd_una,
+            nxt: self.snd_nxt,
+            rcv: self.rcv_nxt,
+            cwnd: self.cwnd,
+            rto: self.rto,
         }
     }
 
@@ -544,6 +577,7 @@ impl Connection {
         ); // step 5
         if O::ENABLED {
             obs.span(path, Stage::Final, Layer::Tcp, Work::delta(before, m.work_counters()));
+            obs.flight(self.obs_id, self.flight_snap(FlightEdge::Send));
         }
     }
 
@@ -578,6 +612,11 @@ impl Connection {
                     self.cwnd = mss;
                 }
                 self.rto = (self.rto * 2).min(16 * self.cfg.rto_ticks); // exponential back-off
+                if O::ENABLED {
+                    obs.count(Counter::RtoBackoffs, 1);
+                    obs.event(EventKind::RtoBackoff, self.obs_id, self.rto as u64);
+                    obs.flight(self.obs_id, self.flight_snap(FlightEdge::Rto));
+                }
                 self.output_obs(m, lb, oldest, None, obs, path);
             }
         }
@@ -608,9 +647,19 @@ impl Connection {
         path: PathLabel,
     ) -> Option<Delivered> {
         let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
+        let pre = if O::ENABLED {
+            (self.snd_una, self.rcv_nxt, self.peer_window)
+        } else {
+            (0, 0, 0)
+        };
         let out = self.poll_input_inner(m, lb);
         if O::ENABLED {
             obs.span(path, Stage::Initial, Layer::Tcp, Work::delta(before, m.work_counters()));
+            // Only state *transitions* earn a flight snapshot — an idle
+            // poll would otherwise flood the tiny ring with no-ops.
+            if pre != (self.snd_una, self.rcv_nxt, self.peer_window) {
+                obs.flight(self.obs_id, self.flight_snap(FlightEdge::Recv));
+            }
         }
         out
     }

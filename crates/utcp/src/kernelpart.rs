@@ -242,6 +242,16 @@ pub struct Loopback {
     /// High-water mark of any single endpoint's queue depth — how far
     /// behind the slowest receiver fell. Updated O(1) on every enqueue.
     pub max_queue: usize,
+    /// Datagrams currently sitting in endpoint queues, across all
+    /// endpoints.
+    queued: usize,
+    /// High-water mark of `queued`. Slots recycle round-robin, so once
+    /// this reaches `n_slots` a queued datagram may have been
+    /// overwritten in place — the saturation signal the health engine's
+    /// queue detector keys on.
+    pub peak_queued: usize,
+    /// Datagrams handed out by [`Loopback::recv`].
+    pub received: u64,
     /// Port → endpoint index. With two endpoints (the paper's loop-back
     /// pair) a linear scan is fine; a server multiplexing hundreds of
     /// connections demultiplexes thousands of datagrams per transfer,
@@ -299,8 +309,16 @@ impl Loopback {
             delayed_count: 0,
             unroutable: 0,
             max_queue: 0,
+            queued: 0,
+            peak_queued: 0,
+            received: 0,
             by_port: HashMap::new(),
         }
+    }
+
+    /// Number of kernel buffer slots in the pool.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
     }
 
     /// Register a listening port; returns the endpoint handle.
@@ -421,8 +439,10 @@ impl Loopback {
             return;
         };
         endpoint.queue.push_back(datagram);
+        self.queued += 1;
         if dup {
             endpoint.queue.push_back(datagram);
+            self.queued += 1;
             self.duplicated += 1;
         }
         if reorder {
@@ -433,6 +453,7 @@ impl Loopback {
             }
         }
         self.max_queue = self.max_queue.max(endpoint.queue.len());
+        self.peak_queued = self.peak_queued.max(self.queued);
     }
 
     /// Move every delay-fault datagram whose hold expired into its
@@ -464,7 +485,12 @@ impl Loopback {
 
     /// Dequeue the next datagram for an endpoint, if any.
     pub fn recv(&mut self, id: EndpointId) -> Option<Datagram> {
-        self.endpoints[id.0].queue.pop_front()
+        let d = self.endpoints[id.0].queue.pop_front();
+        if d.is_some() {
+            self.queued -= 1;
+            self.received += 1;
+        }
+        d
     }
 
     /// Number of datagrams waiting for an endpoint.

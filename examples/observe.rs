@@ -23,13 +23,13 @@
 use ilp_repro::memsim::{AddressSpace, HostModel, SimMem};
 use ilp_repro::obs::{sparkline, Counter, Json, Layer, Metric, PathLabel, Recorder, Stage};
 use ilp_repro::server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
-use ilp_repro::utcp::FaultPlan;
+use ilp_repro::utcp::{FaultPlan, KernelCounters, KernelPart};
 
 const N: usize = 8;
 const FILE_LEN: usize = 4 * 1024;
 const CHUNK: usize = 1024;
 
-fn run(path: Path) -> Recorder {
+fn run(path: Path) -> (Recorder, KernelCounters) {
     let cfg = ServerConfig {
         n_conns: N,
         file_len: FILE_LEN,
@@ -49,7 +49,7 @@ fn run(path: Path) -> Recorder {
     let report = h.run_observed(&mut m, &mut sched, path, &mut rec);
     assert_eq!(h.verify_outputs(&mut m), None, "faults must never corrupt delivered data");
     assert!(report.retransmits > 0, "the fault plan should force retransmissions");
-    rec
+    (rec, h.lb.counters())
 }
 
 fn stage_table(rec: &Recorder, pl: PathLabel) {
@@ -79,8 +79,8 @@ fn main() {
          (drop every 11th datagram, corrupt every 13th), simulated SS10-30\n"
     );
 
-    let rec_non = run(Path::NonIlp);
-    let rec_ilp = run(Path::Ilp);
+    let (rec_non, kc_non) = run(Path::NonIlp);
+    let (rec_ilp, kc_ilp) = run(Path::Ilp);
 
     for (rec, pl) in [(&rec_non, PathLabel::NonIlp), (&rec_ilp, PathLabel::Ilp)] {
         println!("{} path:", pl.name());
@@ -99,6 +99,11 @@ fn main() {
             rec.counter(Counter::SynRetries),
             rec.counter(Counter::FaultDrops),
             rec.counter(Counter::FaultCorruptions),
+        );
+        let kc = if pl == PathLabel::Ilp { &kc_ilp } else { &kc_non };
+        println!(
+            "  kernel part: {} sent / {} received, queue peak {} of {} slots",
+            kc.sent, kc.received, kc.queue_peak, kc.queue_capacity,
         );
         let lat = rec.hist(Metric::ChunkLatencyTicks);
         println!(
@@ -148,8 +153,8 @@ fn main() {
         .set("experiment", Json::Str("observe".into()))
         .set("conns", Json::U64(N as u64))
         .set("file_len", Json::U64(FILE_LEN as u64))
-        .set("ilp", rec_ilp.to_json())
-        .set("non_ilp", rec_non.to_json());
+        .set("ilp", rec_ilp.to_json().set("backend", kc_ilp.to_json()))
+        .set("non_ilp", rec_non.to_json().set("backend", kc_non.to_json()));
     let out = std::path::Path::new("BENCH_observe.json");
     match ilp_repro::obs::write_report(out, &report) {
         Ok(()) => println!("\nwrote {}", out.display()),

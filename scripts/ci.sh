@@ -29,6 +29,7 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_observe.js
     ilp.work:obj ilp.trace.events:arr ilp.trace.events.0.tick:num \
     ilp.series.window_ticks:num ilp.series.windows:arr \
     ilp.series.windows.0.chunks_sent:num \
+    ilp.backend.sent:num ilp.backend.queue_peak:num \
     non_ilp.counters.reject_checksum:num
 
 echo "== sharding: run the shard sweep and schema-check its report =="
@@ -69,7 +70,23 @@ cargo run -q --release --offline -p bench --bin exp_wire
 cargo run -q --release --offline -p bench --bin check_report -- BENCH_wire.json \
     experiment:str payload_bytes:num reps:num \
     ilp.wall_us:num ilp.mbps:num non_ilp.wall_us:num non_ilp.mbps:num \
+    ilp.backend.sent:num ilp.backend.would_block:num ilp.backend.codec_rejects:num \
+    non_ilp.backend.sent:num \
     identical:bool skipped:bool
+
+echo "== health engine: pinned trigger matrix, no-false-positive sweep, hot-path identity =="
+cargo run -q --release --offline -p bench --bin exp_health
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_health.json \
+    experiment:str triggers:obj \
+    triggers.storm.verdicts:num triggers.storm.pass:bool \
+    triggers.blackout.verdicts:num triggers.blackout.pass:bool \
+    triggers.saturation.verdicts:num triggers.saturation.pass:bool \
+    triggers.fairness.verdicts:num triggers.fairness.pass:bool \
+    clean.base_seed:num clean.seeds:num clean.checks:num clean.false_positives:num \
+    overhead.hot_path_identical:bool overhead.analyze_wall_us:num
+
+echo "== doctor: render the diagnostic bundle end-to-end =="
+cargo run -q --release --offline --example doctor > /dev/null
 
 echo "== perf gate: fresh reports vs committed baselines (all metrics virtual-clock-deterministic) =="
 cargo run -q --release --offline -p bench --bin perf_gate
