@@ -194,6 +194,39 @@ pub fn manifest() -> Vec<FileManifest> {
             ],
         },
         FileManifest {
+            file: "BENCH_loss.json",
+            checks: vec![
+                // The goodput-vs-loss curve is virtual-clock output on a
+                // fixed seed: rounds, retransmission mechanism counts and
+                // SACK volume gate bit-exact at every loss rate, the ILP
+                // and non-ILP paths must agree behaviourally, and fast
+                // retransmit must strictly beat the RTO-only baseline on
+                // the same dice.
+                e("seed"),
+                e("file_len"),
+                e("points.0.drop_prob"),
+                e("points.0.paths.ilp.rounds"),
+                e("points.0.paths.ilp.retransmits"),
+                e("points.0.paths_agree"),
+                e("points.2.drop_prob"),
+                e("points.2.paths.ilp.rounds"),
+                e("points.2.paths.ilp.fast_retransmits"),
+                e("points.2.paths.ilp.rto_backoffs"),
+                e("points.2.paths.ilp.sacked_bytes"),
+                e("points.2.paths_agree"),
+                e("points.3.drop_prob"),
+                e("points.3.paths.ilp.rounds"),
+                e("points.3.paths.ilp.fast_retransmits"),
+                e("points.3.paths.ilp.rto_backoffs"),
+                e("points.3.paths_agree"),
+                e("baseline_1pct.rto_only_rounds"),
+                e("baseline_1pct.recovery_rounds"),
+                e("baseline_1pct.recovery_beats_rto_only"),
+                t("points.2.paths.ilp.goodput_bytes_per_round"),
+                t("points.3.paths.ilp.goodput_bytes_per_round"),
+            ],
+        },
+        FileManifest {
             file: "BENCH_wire.json",
             checks: vec![
                 // Real-socket wall-clock numbers: machine-dependent by

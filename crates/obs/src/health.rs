@@ -140,6 +140,8 @@ impl FlightRing {
                     .set("rcv", Json::U64(r.snap.rcv as u64))
                     .set("cwnd", Json::U64(r.snap.cwnd as u64))
                     .set("rto", Json::U64(r.snap.rto as u64))
+                    .set("dup_acks", Json::U64(r.snap.dup_acks as u64))
+                    .set("in_recovery", Json::Bool(r.snap.in_recovery))
             })
             .collect();
         Json::obj()
@@ -580,7 +582,16 @@ mod tests {
     use crate::span::{EventKind, SpanObserver};
 
     fn snap(edge: FlightEdge, una: u32, rto: u32) -> FlightSnap {
-        FlightSnap { edge, una, nxt: una + 100, rcv: 0, cwnd: 1536, rto }
+        FlightSnap {
+            edge,
+            una,
+            nxt: una + 100,
+            rcv: 0,
+            cwnd: 1536,
+            rto,
+            dup_acks: 0,
+            in_recovery: false,
+        }
     }
 
     #[test]

@@ -174,6 +174,13 @@ pub enum Counter {
     /// RTO timer expiries that doubled the retransmission timeout
     /// (exponential back-off steps in `utcp::conn`).
     RtoBackoffs,
+    /// Fast retransmits: segments resent on the duplicate-ACK / SACK
+    /// evidence path, without waiting for the RTO.
+    FastRetransmits,
+    /// Payload bytes newly reported as received out-of-order via SACK
+    /// blocks (counted once per byte when it first enters the sender's
+    /// scoreboard).
+    SackedBytes,
 }
 
 impl Counter {
@@ -193,11 +200,13 @@ impl Counter {
             Counter::FaultCorruptions => "fault_corruptions",
             Counter::Unroutable => "unroutable",
             Counter::RtoBackoffs => "rto_backoffs",
+            Counter::FastRetransmits => "fast_retransmits",
+            Counter::SackedBytes => "sacked_bytes",
         }
     }
 
     /// All counters, in index order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 15] = [
         Counter::ChunksSent,
         Counter::ChunksDelivered,
         Counter::RejectChecksum,
@@ -211,6 +220,8 @@ impl Counter {
         Counter::FaultCorruptions,
         Counter::Unroutable,
         Counter::RtoBackoffs,
+        Counter::FastRetransmits,
+        Counter::SackedBytes,
     ];
 
     /// Dense index for array storage.
@@ -283,11 +294,14 @@ pub enum EventKind {
     /// An RTO expiry doubled a connection's timeout (value: the new
     /// RTO in ticks).
     RtoBackoff,
+    /// Duplicate-ACK evidence triggered a fast retransmit without
+    /// waiting for the RTO (value: the sequence number resent).
+    FastRetransmit,
 }
 
 impl EventKind {
     /// All event kinds, in index order.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 9] = [
         EventKind::SynSent,
         EventKind::Established,
         EventKind::ChunkSent,
@@ -296,6 +310,7 @@ impl EventKind {
         EventKind::Retransmit,
         EventKind::Completed,
         EventKind::RtoBackoff,
+        EventKind::FastRetransmit,
     ];
 
     /// Dense index, matching [`EventKind::ALL`] order.
@@ -309,6 +324,7 @@ impl EventKind {
             EventKind::Retransmit => 5,
             EventKind::Completed => 6,
             EventKind::RtoBackoff => 7,
+            EventKind::FastRetransmit => 8,
         }
     }
 
@@ -323,6 +339,7 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::Completed => "completed",
             EventKind::RtoBackoff => "rto_backoff",
+            EventKind::FastRetransmit => "fast_retransmit",
         }
     }
 }
@@ -375,6 +392,11 @@ pub struct FlightSnap {
     pub cwnd: u32,
     /// Current retransmission timeout in virtual ticks.
     pub rto: u32,
+    /// Consecutive duplicate ACKs counted toward (or during) fast
+    /// retransmit.
+    pub dup_acks: u32,
+    /// Whether the sender is inside a fast-recovery episode.
+    pub in_recovery: bool,
 }
 
 /// The hook trait instrumented code reports through.

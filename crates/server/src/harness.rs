@@ -160,6 +160,10 @@ pub struct ServerConfig {
     pub ring_capacity: usize,
     /// Hard bound on scheduling rounds.
     pub max_rounds: u64,
+    /// Fast retransmit + SACK on every connection (both directions).
+    /// Off = the RTO-only baseline, kept for the goodput-under-loss
+    /// comparison in `exp_loss`.
+    pub loss_recovery: bool,
 }
 
 impl Default for ServerConfig {
@@ -173,6 +177,7 @@ impl Default for ServerConfig {
             faults: FaultPlan::default(),
             ring_capacity: 8 * 1024,
             max_rounds: 200_000,
+            loss_recovery: true,
         }
     }
 }
@@ -212,6 +217,8 @@ pub struct AggregateReport {
     pub rounds: u64,
     /// Total retransmissions across connections.
     pub retransmits: u64,
+    /// Duplicate-ACK/SACK-driven retransmissions among those.
+    pub fast_retransmits: u64,
     /// Total rejected segments across clients.
     pub rejected: u64,
     /// Datagrams bit-flipped by fault injection.
@@ -307,6 +314,7 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 local_ip: SERVER_IP,
                 peer_ip: client_ip(g),
                 ring_capacity: cfg.ring_capacity,
+                loss_recovery: cfg.loss_recovery,
                 ..Default::default()
             };
             let mut tx = Connection::new(space, &mut lb, tx_cfg, server_iss(g));
@@ -332,6 +340,7 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 local_ip: client_ip(g),
                 peer_ip: SERVER_IP,
                 ring_capacity: 256, // receive-only: the ring is unused
+                loss_recovery: cfg.loss_recovery,
                 ..Default::default()
             };
             let mut rx = Connection::new(space, &mut lb, rx_cfg, client_iss(g));
@@ -786,6 +795,7 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 chunks: c.chunks,
                 rejected: c.rejected,
                 retransmits: sess.tx.stats.retransmits,
+                fast_retransmits: sess.tx.stats.fast_retransmits,
                 established_at: sess.stats.established_at,
                 completed_at: sess.stats.completed_at,
             })
@@ -802,6 +812,7 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
             payload_bytes: per_conn.iter().map(|p| p.payload_bytes).sum(),
             rounds: self.clock.now(),
             retransmits: per_conn.iter().map(|p| p.retransmits).sum(),
+            fast_retransmits: per_conn.iter().map(|p| p.fast_retransmits).sum(),
             rejected: per_conn.iter().map(|p| p.rejected).sum(),
             corrupted: self.lb.counters().corrupted,
             fairness: jain_fairness(&shares),

@@ -11,6 +11,8 @@ pub struct PerConnStats {
     pub rejected: u64,
     /// Retransmissions on the server side of this connection.
     pub retransmits: u64,
+    /// Duplicate-ACK/SACK-driven retransmissions among those.
+    pub fast_retransmits: u64,
     /// Virtual tick at which the handshake completed.
     pub established_at: u64,
     /// Virtual tick at which the last chunk was delivered (0 = never).

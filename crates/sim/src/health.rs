@@ -203,21 +203,25 @@ fn blackout_world() -> Result<Vec<Verdict>, String> {
 }
 
 /// A slot pool far too small for the workload: four connections
-/// bursting into ten slots. The high-water hits capacity (the
-/// loop-back then recycles slots round-robin, overwriting queued
-/// datagrams in place), checksum rejections force retransmission
+/// bursting into four slots over a long transfer. The high-water hits
+/// capacity (the loop-back then recycles slots round-robin, overwriting
+/// queued datagrams in place), checksum rejections force retransmission
 /// storms, and the transfer still completes intact — exactly the
-/// incident the saturation verdict exists to explain.
+/// incident the saturation verdict exists to explain. (The pool shrank
+/// and the file grew when fast retransmit landed: dup-ACK recovery
+/// repairs mild overwrite losses too quickly to read as a storm, so the
+/// shape needs sustained pressure to keep retransmissions outnumbering
+/// deliveries inside individual windows.)
 fn saturation_world() -> Result<Vec<Verdict>, String> {
     let cfg = ServerConfig {
         n_conns: 4,
-        file_len: 4096,
+        file_len: 16 * 1024,
         chunk: 512,
         ..Default::default()
     };
     let mut space = AddressSpace::new();
     let cipher = SimplifiedSafer::alloc(&mut space);
-    let lb = Loopback::with_capacity(&mut space, 10);
+    let lb = Loopback::with_capacity(&mut space, 4);
     let mut h = ScaleHarness::with_cipher_over(&mut space, cipher, cfg, lb);
     let mut arena = space.native_arena();
     let mut m = NativeMem::new(&mut arena);
@@ -228,7 +232,7 @@ fn saturation_world() -> Result<Vec<Verdict>, String> {
     if let Some(i) = h.verify_outputs(&mut m) {
         return Err(format!("saturation: client {i} reassembled a corrupted file"));
     }
-    if report.payload_bytes != 4 * 4096 {
+    if report.payload_bytes != 4 * 16 * 1024 {
         return Err(format!("saturation: delivered {} bytes", report.payload_bytes));
     }
     Ok(h.health(&rec, &HealthConfig::default()))

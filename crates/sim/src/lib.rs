@@ -38,6 +38,7 @@
 
 pub mod health;
 pub mod oracle;
+pub mod recovery;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;

@@ -17,6 +17,10 @@
 //! * **ring accounting**: flight size equals the retransmission ring's
 //!   buffered data bytes, and the ring's structural invariants
 //!   ([`utcp::SendRing::check_invariants`]) hold;
+//! * **congestion-window invariants**: cwnd ≥ 1 MSS, non-decreasing
+//!   within a loss-free epoch (delimited by `ConnStats::cwnd_cuts`),
+//!   pinned at a ≥ 2·MSS ssthresh inside fast recovery (halved, never
+//!   collapsed), and three duplicate ACKs always arm fast retransmit;
 //! * **conservation** (post-run): every observability counter equals
 //!   the sum of its windowed time series — nothing the recorder counted
 //!   leaks out of (or into) the series on window seals or merges.
@@ -34,6 +38,8 @@ struct ConnPrev {
     rcv_nxt: u32,
     bytes: u64,
     established: bool,
+    cwnd: u32,
+    cwnd_cuts: u64,
 }
 
 /// Tracks one harness across ticks and counts the oracle evaluations.
@@ -78,6 +84,8 @@ impl Tracker {
                 rcv_nxt: rx0.rcv_nxt(),
                 bytes: 0,
                 established: false,
+                cwnd: tx.cwnd(),
+                cwnd_cuts: tx.stats.cwnd_cuts,
             });
 
             if !advanced(prev.snd_una, tx.snd_una()) {
@@ -104,6 +112,48 @@ impl Tracker {
             }
             tx.ring().check_invariants().map_err(|e| format!("conn {i}: server ring: {e}"))?;
 
+            // Congestion-window invariants (all hold with congestion
+            // control off too — cwnd and ssthresh then sit at a huge
+            // constant and `cwnd_cuts` never moves):
+            // * cwnd never shrinks below one MSS;
+            // * inside fast recovery cwnd is pinned at ssthresh, and
+            //   ssthresh ≥ 2·MSS — *halved*, never the RTO collapse to
+            //   one MSS (an RTO ends the recovery episode);
+            // * within a loss-free epoch (no cut recorded) cwnd is
+            //   non-decreasing — additive/slow-start growth only;
+            // * three duplicate ACKs must have armed fast retransmit.
+            if tx.cwnd() < tx.mss() {
+                return Err(format!("conn {i}: cwnd {} below one MSS {}", tx.cwnd(), tx.mss()));
+            }
+            if tx.in_recovery() {
+                if tx.cwnd() != tx.ssthresh() {
+                    return Err(format!(
+                        "conn {i}: in recovery but cwnd {} != ssthresh {}",
+                        tx.cwnd(),
+                        tx.ssthresh()
+                    ));
+                }
+                if tx.cwnd() < 2 * tx.mss() {
+                    return Err(format!(
+                        "conn {i}: recovery collapsed cwnd to {} (< 2 MSS) instead of halving",
+                        tx.cwnd()
+                    ));
+                }
+            }
+            if tx.stats.cwnd_cuts == prev.cwnd_cuts && tx.cwnd() < prev.cwnd {
+                return Err(format!(
+                    "conn {i}: cwnd shrank {} -> {} without a recorded loss event",
+                    prev.cwnd,
+                    tx.cwnd()
+                ));
+            }
+            if tx.dup_acks() >= 3 && !tx.in_recovery() {
+                return Err(format!(
+                    "conn {i}: {} duplicate ACKs without entering fast recovery",
+                    tx.dup_acks()
+                ));
+            }
+
             let rx = h.client_rx(i);
             // rcv_nxt is re-seeded by `set_peer_iss` when the handshake
             // completes; monotonicity only holds once established.
@@ -126,7 +176,9 @@ impl Tracker {
             prev.rcv_nxt = rx.rcv_nxt();
             prev.bytes = bytes;
             prev.established = h.client_established(i);
-            self.checks += 7 + u64::from(deep);
+            prev.cwnd = tx.cwnd();
+            prev.cwnd_cuts = tx.stats.cwnd_cuts;
+            self.checks += 12 + u64::from(deep);
         }
         Ok(())
     }

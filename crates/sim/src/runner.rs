@@ -131,6 +131,7 @@ fn server_config(sc: &Scenario) -> ServerConfig {
         faults: sc.fault_plan(),
         ring_capacity: sc.ring_capacity,
         max_rounds: 500_000,
+        loss_recovery: true,
     }
 }
 

@@ -40,7 +40,15 @@ use crate::backend::KernelPart;
 use crate::ip::{Ipv4Header, IP_HEADER_LEN, PROTO_TCP};
 use crate::kernelpart::EndpointId;
 use crate::ring::{Extent, RingWriter, SendRing};
-use crate::wire::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+use crate::wire::{sack_option_len, SackBlocks, TcpFlags, TcpHeader, MAX_SACK_BLOCKS, TCP_HEADER_LEN};
+
+/// Duplicate ACKs required to arm fast retransmit (RFC 5681 §3.2).
+const DUP_ACK_THRESHOLD: u32 = 3;
+
+/// Out-of-order hold slots at the receiver — the bounded reassembly
+/// queue. One SACK range per held run, so this also bounds the number
+/// of blocks a pure ACK ever needs to carry.
+const OOO_SLOTS: usize = MAX_SACK_BLOCKS;
 
 /// Connection parameters.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +75,12 @@ pub struct UtcpConfig {
     /// harness leaves this on — the window opens within a few packets —
     /// but it can be disabled for experiments that need a fixed window.
     pub congestion_control: bool,
+    /// Enable duplicate-ACK fast retransmit / fast recovery and SACK
+    /// (RFC 5681 / RFC 2018). When off, the connection is the RTO-only
+    /// baseline: the sender ignores duplicate ACKs and the receiver
+    /// sends plain ACKs and drops out-of-order segments instead of
+    /// holding them for reassembly.
+    pub loss_recovery: bool,
 }
 
 impl Default for UtcpConfig {
@@ -81,6 +95,7 @@ impl Default for UtcpConfig {
             rto_ticks: 8,
             window: 16 * 1024,
             congestion_control: true,
+            loss_recovery: true,
         }
     }
 }
@@ -138,6 +153,16 @@ pub struct ConnStats {
     pub data_sent: u64,
     /// Retransmissions among those.
     pub retransmits: u64,
+    /// Retransmissions triggered by duplicate ACKs / SACK holes rather
+    /// than the timer (a subset of `retransmits`).
+    pub fast_retransmits: u64,
+    /// Bytes newly marked received by incoming SACK blocks.
+    pub sacked_bytes: u64,
+    /// Congestion-window reductions: one per fast-recovery entry and
+    /// one per RTO collapse. Delimits loss-free epochs — between two
+    /// equal readings, `cwnd` is non-decreasing (the sim oracle pins
+    /// this).
+    pub cwnd_cuts: u64,
     /// Pure ACK segments sent.
     pub acks_sent: u64,
     /// ACK segments processed.
@@ -186,6 +211,28 @@ pub struct Connection {
     /// One timed segment at a time: (end sequence, tick sent). Karn's
     /// rule: invalidated on retransmission.
     rtt_probe: Option<(u32, u32)>,
+    /// Consecutive duplicate ACKs counted toward (or during) fast
+    /// retransmit.
+    dup_acks: u32,
+    /// Fast-recovery episode: `Some(recovery point)` — the `snd_nxt` at
+    /// entry. Cumulative ACKs at or past the point end the episode.
+    recovery: Option<u32>,
+    /// Highest sequence already retransmitted by fast retransmit
+    /// (NewReno-style guard against resending the same hole).
+    high_rxt: u32,
+    /// SACK scoreboard: received-beyond-`snd_una` ranges in coordinates
+    /// *relative to `snd_una`* (shifted down as the left edge advances,
+    /// so sequence wrap-around never splits a range). Sorted,
+    /// non-overlapping.
+    sacked: Vec<(u32, u32)>,
+    /// Receiver: hold slots for checksum-verified out-of-order segments
+    /// ([`OOO_SLOTS`] × mtu), replayed once the gap before them fills.
+    ooo: Region,
+    /// Receiver: which hold slots are live and what they contain.
+    ooo_seen: Vec<OooSeg>,
+    /// Monotone stamp so SACK blocks can be ordered most-recent-first
+    /// (RFC 2018 §4).
+    ooo_stamp: u64,
     /// Connection id stamped on flight-recorder snapshots and health
     /// events. The harness overrides it with the *global* connection
     /// index (shard `conn_base` + slot) so shard-merged flight maps
@@ -193,6 +240,18 @@ pub struct Connection {
     obs_id: u32,
     /// Statistics.
     pub stats: ConnStats,
+}
+
+/// One checksum-verified future segment held in the receiver's
+/// reassembly slots, with everything needed to replay it as a
+/// [`Delivered`] once the gap before it fills.
+#[derive(Debug, Clone, Copy)]
+struct OooSeg {
+    seq: u32,
+    len: usize,
+    slot: usize,
+    control_sum: InetChecksum,
+    stamp: u64,
 }
 
 /// TCB field offsets inside the state region.
@@ -209,7 +268,14 @@ impl Connection {
     pub fn new(space: &mut AddressSpace, lb: &mut impl KernelPart, cfg: UtcpConfig, iss: u32) -> Self {
         let endpoint = lb.register(cfg.local_port);
         let ring_region = space.alloc_kind("tcp_ring", cfg.ring_capacity, 64, RegionKind::Ring);
-        let hdr = space.alloc_kind("tcp_hdr", TCP_HEADER_LEN.next_multiple_of(8), 8, RegionKind::State);
+        // Header staging must fit the largest option area a pure ACK
+        // can carry (a full SACK option).
+        let hdr = space.alloc_kind(
+            "tcp_hdr",
+            (TCP_HEADER_LEN + sack_option_len(MAX_SACK_BLOCKS)).next_multiple_of(8),
+            8,
+            RegionKind::State,
+        );
         let recv = space.alloc_kind(
             "tcp_recv",
             cfg.mtu + IP_HEADER_LEN + TCP_HEADER_LEN + 12,
@@ -217,6 +283,7 @@ impl Connection {
             RegionKind::Buffer,
         );
         let state = space.alloc_kind("tcb", 64, 8, RegionKind::State);
+        let ooo = space.alloc_kind("tcp_ooo", OOO_SLOTS * cfg.mtu, 64, RegionKind::Buffer);
         let code_tcp = space.alloc_code("utcp_control", 3 * 1024);
         let mss = cfg.mtu as u32;
         Connection {
@@ -239,6 +306,13 @@ impl Connection {
             srtt8: 0,
             rttvar4: 0,
             rtt_probe: None,
+            dup_acks: 0,
+            recovery: None,
+            high_rxt: iss,
+            sacked: Vec::new(),
+            ooo,
+            ooo_seen: Vec::new(),
+            ooo_stamp: 0,
             obs_id: cfg.local_port as u32,
             stats: ConnStats::default(),
         }
@@ -265,6 +339,8 @@ impl Connection {
             rcv: self.rcv_nxt,
             cwnd: self.cwnd,
             rto: self.rto,
+            dup_acks: self.dup_acks,
+            in_recovery: self.recovery.is_some(),
         }
     }
 
@@ -273,9 +349,51 @@ impl Connection {
         self.cwnd
     }
 
+    /// Maximum segment size in bytes (one chunk's payload budget; the
+    /// congestion-control unit).
+    pub fn mss(&self) -> u32 {
+        self.cfg.mtu as u32
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    /// Whether the sender is inside a fast-recovery episode.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Consecutive duplicate ACKs seen since the last cumulative
+    /// advance.
+    pub fn dup_acks(&self) -> u32 {
+        self.dup_acks
+    }
+
     /// Current retransmission timeout in ticks.
     pub fn rto(&self) -> u32 {
         self.rto
+    }
+
+    /// The single source of truth for RTO bounds — every clamp (the
+    /// RTT-estimator update *and* the exponential timeout back-off)
+    /// goes through here, so the floor and cap can never drift apart
+    /// again. Floor: a quarter of the configured initial RTO, but
+    /// never below 2 ticks (sub-tick loop-back RTTs still need a timer
+    /// that cannot fire on the very next tick). Cap: 16× the
+    /// configured initial RTO, raised to the floor for degenerate
+    /// configs (`rto_ticks` of 0 or 1).
+    fn rto_bounds(&self) -> (u32, u32) {
+        let floor = (self.cfg.rto_ticks / 4).max(2);
+        let cap = 16u32.saturating_mul(self.cfg.rto_ticks).max(floor);
+        (floor, cap)
+    }
+
+    /// Clamp a raw RTO value into [`Connection::rto_bounds`].
+    fn clamp_rto(&self, raw: u32) -> u32 {
+        let (floor, cap) = self.rto_bounds();
+        raw.clamp(floor, cap)
     }
 
     /// Smoothed RTT estimate in ticks (None before the first sample).
@@ -610,8 +728,16 @@ impl Connection {
                     let mss = self.cfg.mtu as u32;
                     self.ssthresh = (self.in_flight() / 2).max(2 * mss);
                     self.cwnd = mss;
+                    self.stats.cwnd_cuts += 1;
                 }
-                self.rto = (self.rto * 2).min(16 * self.cfg.rto_ticks); // exponential back-off
+                // An RTO supersedes any fast-recovery episode, and the
+                // scoreboard may be stale (SACKs are advisory, RFC 2018
+                // §8) — forget it and rebuild from fresh ACKs.
+                self.dup_acks = 0;
+                self.recovery = None;
+                self.sacked.clear();
+                self.high_rxt = self.snd_una;
+                self.rto = self.clamp_rto(self.rto.saturating_mul(2)); // exponential back-off
                 if O::ENABLED {
                     obs.count(Counter::RtoBackoffs, 1);
                     obs.event(EventKind::RtoBackoff, self.obs_id, self.rto as u64);
@@ -652,7 +778,7 @@ impl Connection {
         } else {
             (0, 0, 0)
         };
-        let out = self.poll_input_inner(m, lb);
+        let out = self.poll_input_inner(m, lb, obs, path);
         if O::ENABLED {
             obs.span(path, Stage::Initial, Layer::Tcp, Work::delta(before, m.work_counters()));
             // Only state *transitions* earn a flight snapshot — an idle
@@ -664,7 +790,20 @@ impl Connection {
         out
     }
 
-    fn poll_input_inner<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) -> Option<Delivered> {
+    fn poll_input_inner<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        obs: &mut O,
+        path: PathLabel,
+    ) -> Option<Delivered> {
+        // A held out-of-order segment whose gap has filled replays ahead
+        // of fresh datagrams — it is the next in-order TSDU now.
+        if self.cfg.loss_recovery {
+            if let Some(held) = self.take_ready_ooo(m) {
+                return Some(held);
+            }
+        }
         loop {
             let datagram = lb.recv_into(m, self.endpoint)?;
             // Kernel: IP validation + demultiplexing, then the system
@@ -688,28 +827,129 @@ impl Connection {
             let ack = hdr.ack(m);
             let flags = hdr.flags(m);
             let window = hdr.window(m);
-            let payload_len = datagram.len - IP_HEADER_LEN - TCP_HEADER_LEN;
+            let hdr_len = hdr.header_len(m);
+            let tcp_total = datagram.len - IP_HEADER_LEN;
+            if hdr_len < TCP_HEADER_LEN || hdr_len > tcp_total {
+                self.stats.rejected += 1;
+                continue;
+            }
+            let opt_len = hdr_len - TCP_HEADER_LEN;
+            let payload_len = tcp_total - hdr_len;
             m.compute(40); // header prediction / initial parse
 
             if payload_len == 0 && flags.contains(TcpFlags::ACK) {
-                self.process_ack(m, ack, window);
+                let sacks = if opt_len > 0 {
+                    // An option-bearing ACK must be verified before the
+                    // scoreboard honours it — a corrupted SACK range
+                    // would mark never-received data as received.
+                    let mut sum = InetChecksum::new();
+                    self.pseudo_in(opt_len).add_to(&mut sum);
+                    hdr.add_to_checksum(m, &mut sum);
+                    hdr.add_options_to_checksum(m, opt_len, &mut sum);
+                    if sum.finish() != 0 {
+                        self.stats.rejected += 1;
+                        continue;
+                    }
+                    hdr.sack_blocks(m)
+                } else {
+                    SackBlocks::default()
+                };
+                self.process_ack(m, lb, ack, window, &sacks, obs, path);
                 continue; // keep polling for data
             }
 
             // Pseudo-header + full header partial sum (checksum field as
             // received: a correct segment folds to 0xFFFF overall).
             let mut control_sum = InetChecksum::new();
-            self.pseudo_in(payload_len).add_to(&mut control_sum);
+            self.pseudo_in(opt_len + payload_len).add_to(&mut control_sum);
             hdr.add_to_checksum(m, &mut control_sum);
+            if opt_len > 0 {
+                hdr.add_options_to_checksum(m, opt_len, &mut control_sum);
+            }
 
             return Some(Delivered {
-                payload_addr: self.recv.base + IP_HEADER_LEN + TCP_HEADER_LEN,
+                payload_addr: self.recv.base + IP_HEADER_LEN + hdr_len,
                 payload_len,
                 seq,
                 control_sum,
                 in_order: seq == self.rcv_nxt,
             });
         }
+    }
+
+    /// Pop a held out-of-order segment that has become the next
+    /// expected one. The payload bytes in the hold slot are exactly the
+    /// bytes the original checksum pass verified, so the stored control
+    /// sum still folds to zero against them.
+    fn take_ready_ooo<M: Mem>(&mut self, m: &mut M) -> Option<Delivered> {
+        let idx = self.ooo_seen.iter().position(|s| s.seq == self.rcv_nxt)?;
+        let held = self.ooo_seen.swap_remove(idx);
+        m.fetch(self.code_tcp);
+        m.compute(10); // reassembly-queue lookup
+        Some(Delivered {
+            payload_addr: self.ooo.at(held.slot * self.cfg.mtu),
+            payload_len: held.len,
+            seq: held.seq,
+            control_sum: held.control_sum,
+            in_order: true,
+        })
+    }
+
+    /// Hold a checksum-verified future segment for reassembly. Bounded
+    /// at [`OOO_SLOTS`]; duplicates, old segments and out-of-window
+    /// segments are simply not stored (the duplicate ACK still goes out
+    /// either way).
+    fn store_out_of_order<M: Mem>(&mut self, m: &mut M, d: &Delivered) {
+        let dist = d.seq.wrapping_sub(self.rcv_nxt);
+        if d.payload_len == 0 || dist == 0 || dist > u32::from(self.cfg.window) {
+            return;
+        }
+        if self.ooo_seen.iter().any(|s| s.seq == d.seq) || self.ooo_seen.len() >= OOO_SLOTS {
+            return;
+        }
+        let mut used = [false; OOO_SLOTS];
+        for s in &self.ooo_seen {
+            used[s.slot] = true;
+        }
+        let slot = (0..OOO_SLOTS).find(|&i| !used[i]).expect("a free slot exists");
+        m.copy(d.payload_addr, self.ooo.at(slot * self.cfg.mtu), d.payload_len);
+        self.ooo_stamp += 1;
+        self.ooo_seen.push(OooSeg {
+            seq: d.seq,
+            len: d.payload_len,
+            slot,
+            control_sum: d.control_sum,
+            stamp: self.ooo_stamp,
+        });
+    }
+
+    /// Drop held segments the cumulative edge has passed.
+    fn prune_ooo(&mut self) {
+        let rcv = self.rcv_nxt;
+        self.ooo_seen.retain(|s| (s.seq.wrapping_sub(rcv) as i32) >= 0);
+    }
+
+    /// The held runs as SACK ranges: contiguous held segments merge
+    /// into one block, and blocks are ordered most recently changed
+    /// first so the sender learns the newest edge even when blocks are
+    /// truncated (RFC 2018 §4).
+    fn sack_ranges(&self) -> Vec<(u32, u32)> {
+        let rcv = self.rcv_nxt;
+        let mut segs: Vec<&OooSeg> = self.ooo_seen.iter().collect();
+        segs.sort_by_key(|s| s.seq.wrapping_sub(rcv));
+        let mut runs: Vec<(u32, u32, u64)> = Vec::new();
+        for s in segs {
+            let end = s.seq.wrapping_add(s.len as u32);
+            match runs.last_mut() {
+                Some(r) if r.1 == s.seq => {
+                    r.1 = end;
+                    r.2 = r.2.max(s.stamp);
+                }
+                _ => runs.push((s.seq, end, s.stamp)),
+            }
+        }
+        runs.sort_by_key(|r| std::cmp::Reverse(r.2));
+        runs.into_iter().map(|(s, e, _)| (s, e)).collect()
     }
 
     /// Non-ILP checksum verification: a separate read pass over the
@@ -775,17 +1015,26 @@ impl Connection {
         }
         if !d.in_order {
             self.stats.rejected += 1;
-            self.send_ack(m, lb); // duplicate ACK
+            if self.cfg.loss_recovery {
+                self.store_out_of_order(m, d);
+            }
+            self.send_ack(m, lb); // duplicate ACK (carries SACK if holding)
             return Err(Reject::Malformed("out-of-order segment"));
         }
         self.rcv_nxt = self.rcv_nxt.wrapping_add(d.payload_len as u32);
         self.stats.accepted += 1;
+        if self.cfg.loss_recovery {
+            self.prune_ooo();
+        }
         self.touch_state(m);
         self.send_ack(m, lb);
         Ok(())
     }
 
-    /// Emit a pure ACK.
+    /// Emit a pure ACK. While holding out-of-order data (and loss
+    /// recovery is on) it carries a SACK option naming the held runs;
+    /// the option bytes ride through the kernel part as the segment's
+    /// "payload", so every backend ships them without change.
     fn send_ack<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) {
         let hdr = TcpHeader::at(self.hdr.base);
         hdr.build(
@@ -797,7 +1046,14 @@ impl Connection {
             TcpFlags::ACK,
             self.cfg.window,
         );
-        let csum = hdr.segment_checksum(m, self.pseudo_out(0), InetChecksum::new());
+        let mut opt_len = 0;
+        let mut opt_sum = InetChecksum::new();
+        if self.cfg.loss_recovery && !self.ooo_seen.is_empty() {
+            let ranges = self.sack_ranges();
+            opt_len = hdr.build_sack_option(m, &ranges);
+            hdr.add_options_to_checksum(m, opt_len, &mut opt_sum);
+        }
+        let csum = hdr.segment_checksum(m, self.pseudo_out(opt_len), opt_sum);
         hdr.set_checksum(m, csum);
         self.stats.acks_sent += 1;
         lb.send(
@@ -806,20 +1062,65 @@ impl Connection {
             self.cfg.peer_ip,
             self.cfg.peer_port,
             self.hdr.base,
-            self.hdr.base,
-            0,
+            self.hdr.base + TCP_HEADER_LEN,
+            opt_len,
         );
     }
 
-    /// Process an incoming cumulative ACK.
-    fn process_ack<M: Mem>(&mut self, m: &mut M, ack: u32, window: u16) {
+    /// Process an incoming cumulative ACK (and its SACK option, if
+    /// any). Duplicate ACKs feed the fast-retransmit counter; forward
+    /// ACKs advance the window, the RTT estimator and — outside
+    /// recovery — the congestion window.
+    #[allow(clippy::too_many_arguments)]
+    fn process_ack<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        ack: u32,
+        window: u16,
+        sacks: &SackBlocks,
+        obs: &mut O,
+        path: PathLabel,
+    ) {
+        let window_update = window != self.peer_window;
         self.peer_window = window;
+        if self.cfg.loss_recovery && !sacks.is_empty() {
+            let fresh = self.scoreboard_insert(sacks);
+            if fresh > 0 {
+                self.stats.sacked_bytes += fresh;
+                if O::ENABLED {
+                    obs.count(Counter::SackedBytes, fresh);
+                }
+            }
+        }
         let advanced = ack.wrapping_sub(self.snd_una);
-        // Ignore stale ACKs (outside the in-flight range).
         if advanced == 0 || advanced > self.in_flight() {
+            // No cumulative progress. An exact repeat of `snd_una` with
+            // data outstanding and no window change is a duplicate ACK
+            // — the loss signal fast retransmit counts. A pure window
+            // update (RFC 5681 §2) or a stale ACK is neither.
+            if self.cfg.loss_recovery
+                && advanced == 0
+                && !window_update
+                && self.in_flight() > 0
+            {
+                self.on_dup_ack(m, lb, obs, path);
+            }
             return;
         }
         self.snd_una = ack;
+        // Shift the scoreboard's relative coordinates down with the
+        // left edge; everything the cumulative ACK covers is gone.
+        if !self.sacked.is_empty() {
+            for r in &mut self.sacked {
+                r.0 = r.0.saturating_sub(advanced);
+                r.1 = r.1.saturating_sub(advanced);
+            }
+            self.sacked.retain(|r| r.0 < r.1);
+        }
+        if (self.high_rxt.wrapping_sub(ack) as i32) < 0 {
+            self.high_rxt = ack;
+        }
         self.ring.ack(ack);
         self.last_progress = self.ticks;
         self.stats.acks_received += 1;
@@ -838,13 +1139,30 @@ impl Connection {
                     self.rttvar4 =
                         ((self.rttvar4 as i64 * 3) / 4 + err.abs()).max(1) as u32;
                 }
-                self.rto = (self.srtt8 / 8 + self.rttvar4.max(1)).clamp(2, 16 * self.cfg.rto_ticks);
+                self.rto = self.clamp_rto(self.srtt8 / 8 + self.rttvar4.max(1));
                 self.rtt_probe = None;
             }
         }
+        let mut grow = true;
+        if let Some(point) = self.recovery {
+            self.dup_acks = 0;
+            if (ack.wrapping_sub(point) as i32) >= 0 {
+                // Recovery point reached: the episode ends with cwnd at
+                // the halved ssthresh — halved, not collapsed.
+                self.recovery = None;
+            } else {
+                // Partial ACK: the next hole was lost too (NewReno §3.2)
+                // — fill it now instead of waiting for more dup ACKs.
+                grow = false;
+                self.retransmit_hole(m, lb, obs, path);
+            }
+        } else {
+            self.dup_acks = 0;
+        }
         // Congestion window growth: slow start below ssthresh, linear
-        // (one MSS per window) above.
-        if self.cfg.congestion_control {
+        // (one MSS per window) above. Frozen during recovery.
+        if grow && self.cfg.congestion_control {
+            debug_assert!(advanced > 0, "cwnd growth requires a forward ACK");
             let mss = self.cfg.mtu as u32;
             if self.cwnd < self.ssthresh {
                 self.cwnd = self.cwnd.saturating_add(advanced.min(mss));
@@ -855,6 +1173,134 @@ impl Connection {
         }
         self.touch_state(m);
         m.compute(20);
+    }
+
+    /// One more duplicate ACK for `snd_una`: the third arms fast
+    /// retransmit; further ones during recovery keep filling holes.
+    fn on_dup_ack<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        obs: &mut O,
+        path: PathLabel,
+    ) {
+        self.dup_acks += 1;
+        if self.recovery.is_some() {
+            // Each additional dup ACK during recovery means another
+            // segment left the network; use it to fill the next hole.
+            self.retransmit_hole(m, lb, obs, path);
+        } else if self.dup_acks >= DUP_ACK_THRESHOLD {
+            self.enter_recovery(m, lb, obs, path);
+        }
+    }
+
+    /// RFC 5681 fast retransmit / fast recovery entry: halve (do not
+    /// collapse) the window and resend the first hole. Deviation from
+    /// the RFC: no +3·MSS inflation — the loop-back harness drains ACKs
+    /// within the same virtual tick, so inflation would only distort
+    /// the cwnd traces the simulation oracles pin.
+    fn enter_recovery<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        obs: &mut O,
+        path: PathLabel,
+    ) {
+        if self.cfg.congestion_control {
+            let mss = self.cfg.mtu as u32;
+            self.ssthresh = (self.in_flight() / 2).max(2 * mss);
+            self.cwnd = self.ssthresh;
+            self.stats.cwnd_cuts += 1;
+        }
+        self.recovery = Some(self.snd_nxt);
+        self.high_rxt = self.snd_una;
+        self.retransmit_hole(m, lb, obs, path);
+    }
+
+    /// Retransmit the first hole — the oldest un-sacked extent past
+    /// `high_rxt`, below the recovery point — if there is one.
+    fn retransmit_hole<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        obs: &mut O,
+        path: PathLabel,
+    ) {
+        let Some(extent) = self.next_hole() else { return };
+        self.high_rxt = extent.seq.wrapping_add(extent.len as u32);
+        // A recovery retransmission is forward progress — it must not
+        // race the retransmission timer into a spurious back-off.
+        self.last_progress = self.ticks;
+        self.stats.fast_retransmits += 1;
+        if O::ENABLED {
+            obs.count(Counter::FastRetransmits, 1);
+            obs.event(EventKind::FastRetransmit, self.obs_id, u64::from(extent.seq));
+        }
+        self.output_obs(m, lb, extent, None, obs, path);
+    }
+
+    /// The first ring extent at or past `high_rxt`, below the recovery
+    /// point, not fully covered by the scoreboard.
+    fn next_hole(&self) -> Option<Extent> {
+        let limit = self.recovery.unwrap_or(self.snd_nxt);
+        for e in self.ring.extents() {
+            if (e.seq.wrapping_sub(self.high_rxt) as i32) < 0 {
+                continue; // already retransmitted this episode
+            }
+            if (e.seq.wrapping_sub(limit) as i32) >= 0 {
+                break; // only fill holes behind the recovery point
+            }
+            if !self.is_sacked(e.seq, e.len) {
+                return Some(*e);
+            }
+        }
+        None
+    }
+
+    /// Whether `[seq, seq+len)` is fully inside one sacked range
+    /// (scoreboard coordinates are relative to `snd_una`).
+    fn is_sacked(&self, seq: u32, len: usize) -> bool {
+        let rs = seq.wrapping_sub(self.snd_una);
+        let re = rs.wrapping_add(len as u32);
+        self.sacked.iter().any(|&(s, e)| s <= rs && re <= e)
+    }
+
+    /// Fold an ACK's SACK blocks into the scoreboard; returns the
+    /// number of newly-learned bytes. Blocks are validated against the
+    /// in-flight range — a checksum-valid but stale block outside it is
+    /// ignored.
+    fn scoreboard_insert(&mut self, sacks: &SackBlocks) -> u64 {
+        let mut fresh = 0u64;
+        for &(s, e) in sacks.as_slice() {
+            let rs = s.wrapping_sub(self.snd_una);
+            let re = e.wrapping_sub(self.snd_una);
+            if rs >= re || re > self.in_flight() {
+                continue;
+            }
+            fresh += self.merge_range(rs, re);
+        }
+        fresh
+    }
+
+    /// Merge `[rs, re)` (relative coordinates) into the sorted,
+    /// non-overlapping scoreboard; returns the bytes not previously
+    /// covered.
+    fn merge_range(&mut self, rs: u32, re: u32) -> u64 {
+        let mut covered = 0u64;
+        let mut i = 0;
+        while i < self.sacked.len() && self.sacked[i].1 < rs {
+            i += 1;
+        }
+        let (mut s, mut e) = (rs, re);
+        while i < self.sacked.len() && self.sacked[i].0 <= e {
+            let (os, oe) = self.sacked[i];
+            covered += u64::from(oe.min(re).saturating_sub(os.max(rs)));
+            s = s.min(os);
+            e = e.max(oe);
+            self.sacked.remove(i);
+        }
+        self.sacked.insert(i, (s, e));
+        u64::from(re - rs) - covered
     }
 }
 
@@ -891,6 +1337,24 @@ mod tests {
         let src = space.alloc("src", 4096, 8);
         let dst_check = space.alloc("dst_check", 4096, 8);
         World { space, lb, tx, rx, src, dst_check }
+    }
+
+    /// Drive send/receive/ACK to quiescence without ever advancing the
+    /// clock — any recovery that completes in here was duplicate-ACK
+    /// driven, not RTO.
+    fn drain_without_ticks(w: &mut World, m: &mut NativeMem<'_>, received: &mut Vec<Vec<u8>>) {
+        for _ in 0..50 {
+            while let Some(d) = w.rx.poll_input(m, &mut w.lb) {
+                let sum = checksum_buf(m, d.payload_addr, d.payload_len);
+                if w.rx.finish_recv(m, &mut w.lb, &d, sum).is_ok() {
+                    received.push(m.bytes(d.payload_addr, d.payload_len).to_vec());
+                }
+            }
+            while w.tx.poll_input(m, &mut w.lb).is_some() {}
+            if w.tx.in_flight() == 0 {
+                break;
+            }
+        }
     }
 
     /// Drive one message through: send, receive, verify, ack.
@@ -1249,6 +1713,205 @@ mod tests {
         };
         let tx = Connection::new(&mut space, &mut lb, cfg, 0);
         assert!(tx.cwnd() > 1 << 24, "disabled cwnd must not constrain");
+    }
+
+    #[test]
+    fn fast_retransmit_recovers_single_drop_without_rto() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        // Drop exactly the first segment, deliver the other three.
+        w.lb.set_faults(FaultPlan { drop_every: 1, ..Default::default() });
+        m.bytes_mut(w.src.base, 100).copy_from_slice(&[1u8; 100]);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100).unwrap();
+        w.lb.set_faults(FaultPlan::default());
+        for i in 2..=4u8 {
+            m.bytes_mut(w.src.base, 100).copy_from_slice(&[i; 100]);
+            w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100).unwrap();
+        }
+        let mut received = Vec::new();
+        drain_without_ticks(&mut w, &mut m, &mut received);
+        assert_eq!(received.len(), 4, "all four delivered though the clock never ticked");
+        for (i, data) in received.iter().enumerate() {
+            assert_eq!(data, &vec![i as u8 + 1; 100], "in-order delivery of message {i}");
+        }
+        assert_eq!(w.tx.stats.fast_retransmits, 1, "exactly the dropped segment was resent");
+        assert_eq!(w.tx.stats.retransmits, 1, "no RTO retransmissions rode along");
+        assert!(w.tx.stats.sacked_bytes > 0, "the dup ACKs carried SACK blocks");
+        assert!(!w.tx.in_recovery(), "the recovery-point ACK closed the episode");
+        // Fast recovery halves to ssthresh (≥ 2 MSS) instead of the
+        // timeout's collapse to one MSS.
+        assert!(w.tx.cwnd() >= 2 * 1536, "halved, not collapsed: cwnd {}", w.tx.cwnd());
+    }
+
+    #[test]
+    fn sack_fills_multiple_holes_without_rto() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        // Drop segments 1 and 3 of five; 2, 4, 5 arrive and are held.
+        let swallow = FaultPlan { drop_every: 1, ..Default::default() };
+        for i in 1..=5u8 {
+            if i == 1 || i == 3 {
+                w.lb.set_faults(swallow);
+            } else {
+                w.lb.set_faults(FaultPlan::default());
+            }
+            m.bytes_mut(w.src.base, 100).copy_from_slice(&[i; 100]);
+            w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100).unwrap();
+        }
+        w.lb.set_faults(FaultPlan::default());
+        let mut received = Vec::new();
+        drain_without_ticks(&mut w, &mut m, &mut received);
+        assert_eq!(received.len(), 5, "both holes filled without the timer");
+        for (i, data) in received.iter().enumerate() {
+            assert_eq!(data, &vec![i as u8 + 1; 100], "in-order delivery of message {i}");
+        }
+        assert_eq!(w.tx.stats.fast_retransmits, 2, "one resend per hole");
+        assert_eq!(w.tx.stats.retransmits, 2);
+        // Three distinct SACK deliveries: [2], then [4], then [4,5]'s
+        // extension — 100 fresh bytes each.
+        assert_eq!(w.tx.stats.sacked_bytes, 300);
+        assert!(!w.tx.in_recovery());
+    }
+
+    #[test]
+    fn pure_window_update_is_not_a_dup_ack() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        // Swallow one segment so snd_una stays put with data in flight.
+        w.lb.set_faults(FaultPlan { drop_every: 1, ..Default::default() });
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 100).unwrap();
+        let una = w.tx.snd_una();
+        let none = SackBlocks::default();
+        // Same ack, changing window: pure window updates, not dup ACKs.
+        for wnd in [4000u16, 5000, 6000] {
+            w.tx.process_ack(&mut m, &mut w.lb, una, wnd, &none, &mut NoopObserver, PathLabel::NonIlp);
+        }
+        assert_eq!(w.tx.dup_acks(), 0, "window updates must not count toward the threshold");
+        assert_eq!(w.tx.stats.fast_retransmits, 0);
+        // Same ack, same window: true duplicates.
+        for _ in 0..3 {
+            w.tx.process_ack(&mut m, &mut w.lb, una, 6000, &none, &mut NoopObserver, PathLabel::NonIlp);
+        }
+        assert_eq!(w.tx.stats.fast_retransmits, 1, "the third true dup ACK arms fast retransmit");
+        assert!(w.tx.in_recovery());
+    }
+
+    #[test]
+    fn stale_acks_leave_cwnd_untouched() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(w.src.base, 100).copy_from_slice(&[5u8; 100]);
+        let _ = transfer(&mut w, &mut m, 100);
+        let cwnd = w.tx.cwnd();
+        let una = w.tx.snd_una();
+        let wnd = w.tx.peer_window();
+        let none = SackBlocks::default();
+        // An already-ACKed sequence, and an ACK beyond snd_nxt.
+        for stale in [una.wrapping_sub(100), una.wrapping_add(1)] {
+            w.tx.process_ack(&mut m, &mut w.lb, stale, wnd, &none, &mut NoopObserver, PathLabel::NonIlp);
+            assert_eq!(w.tx.cwnd(), cwnd, "stale ACK {stale:#x} must not grow cwnd");
+            assert_eq!(w.tx.snd_una(), una, "stale ACK {stale:#x} must not move snd_una");
+        }
+    }
+
+    #[test]
+    fn rto_floor_and_cap_are_unified() {
+        let mut space = AddressSpace::new();
+        let mut lb = Loopback::new(&mut space);
+        let mk = |space: &mut AddressSpace, lb: &mut Loopback, port: u16, ticks: u32| {
+            let cfg = UtcpConfig {
+                local_port: port,
+                peer_port: port + 1,
+                rto_ticks: ticks,
+                ..Default::default()
+            };
+            Connection::new(space, lb, cfg, 0)
+        };
+        // Default config keeps the historical bounds (floor 2, cap 128).
+        let c = mk(&mut space, &mut lb, 10, 8);
+        assert_eq!(c.rto_bounds(), (2, 128));
+        assert_eq!(c.clamp_rto(0), 2);
+        assert_eq!(c.clamp_rto(1_000), 128);
+        // Tiny initial RTO: the floor holds, the cap stays above it.
+        let c = mk(&mut space, &mut lb, 20, 1);
+        assert_eq!(c.rto_bounds(), (2, 16));
+        // Degenerate zero: both bounds collapse onto the 2-tick floor.
+        let c = mk(&mut space, &mut lb, 30, 0);
+        assert_eq!(c.rto_bounds(), (2, 2));
+        assert_eq!(c.clamp_rto(77), 2);
+        // Large initial RTO: the estimator can no longer undercut it
+        // down to a hardcoded 2 ticks.
+        let c = mk(&mut space, &mut lb, 40, 100);
+        assert_eq!(c.rto_bounds(), (25, 1600));
+        assert_eq!(c.clamp_rto(1), 25);
+    }
+
+    #[test]
+    fn loss_recovery_disabled_is_rto_only() {
+        let mut space = AddressSpace::new();
+        let mut lb = Loopback::new(&mut space);
+        let tx_cfg = UtcpConfig {
+            local_port: 1000,
+            peer_port: 2000,
+            loss_recovery: false,
+            ..Default::default()
+        };
+        let rx_cfg = UtcpConfig {
+            local_port: 2000,
+            peer_port: 1000,
+            local_ip: tx_cfg.peer_ip,
+            peer_ip: tx_cfg.local_ip,
+            loss_recovery: false,
+            ..Default::default()
+        };
+        let mut tx = Connection::new(&mut space, &mut lb, tx_cfg, 1000);
+        let mut rx = Connection::new(&mut space, &mut lb, rx_cfg, 5000);
+        rx.set_peer_iss(1000);
+        tx.set_peer_iss(5000);
+        let src = space.alloc("src", 512, 8);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        // Drop the first of four segments.
+        lb.set_faults(FaultPlan { drop_every: 1, ..Default::default() });
+        m.bytes_mut(src.base, 100).copy_from_slice(&[1u8; 100]);
+        tx.send_buf(&mut m, &mut lb, src.base, 100).unwrap();
+        lb.set_faults(FaultPlan::default());
+        for i in 2..=4u8 {
+            m.bytes_mut(src.base, 100).copy_from_slice(&[i; 100]);
+            tx.send_buf(&mut m, &mut lb, src.base, 100).unwrap();
+        }
+        // Without ticks nothing recovers: dup ACKs are ignored.
+        for _ in 0..10 {
+            while let Some(d) = rx.poll_input(&mut m, &mut lb) {
+                let sum = checksum_buf(&mut m, d.payload_addr, d.payload_len);
+                let _ = rx.finish_recv(&mut m, &mut lb, &d, sum);
+            }
+            while tx.poll_input(&mut m, &mut lb).is_some() {}
+        }
+        assert_eq!(tx.stats.fast_retransmits, 0, "the baseline never fast-retransmits");
+        assert!(tx.in_flight() > 0, "stalled until the timer fires");
+        // The timer eventually recovers the stream the slow way.
+        let mut drained = false;
+        for _ in 0..2_000 {
+            tx.tick(&mut m, &mut lb);
+            while let Some(d) = rx.poll_input(&mut m, &mut lb) {
+                let sum = checksum_buf(&mut m, d.payload_addr, d.payload_len);
+                let _ = rx.finish_recv(&mut m, &mut lb, &d, sum);
+            }
+            while tx.poll_input(&mut m, &mut lb).is_some() {}
+            if tx.in_flight() == 0 {
+                drained = true;
+                break;
+            }
+        }
+        assert!(drained, "RTO recovery must eventually drain the flight");
+        assert_eq!(rx.stats.accepted, 4);
+        assert!(tx.stats.retransmits > 0);
+        assert_eq!(tx.stats.fast_retransmits, 0);
     }
 
     #[test]

@@ -100,8 +100,18 @@ pub struct FaultPlan {
     /// Flip one payload bit of every `n`-th *data-bearing* datagram
     /// (0 = never). Pure ACKs are exempt: the paper's profile verifies
     /// the TCP checksum only on data segments, so a corrupted ACK would
-    /// model a failure this stack never detects.
+    /// model a failure this stack never detects. (Option-bearing ACKs
+    /// *do* count as data-bearing — their option area is covered by the
+    /// TCP checksum, and the receiving sender verifies it.)
     pub corrupt_every: usize,
+    /// Drop a one-shot window of datagrams by absolute send count:
+    /// datagrams `drop_at ..= drop_at + drop_burst - 1` (1-based count;
+    /// 0 = never). Unlike `drop_every` this targets *specific*
+    /// datagrams, which is what the loss-recovery reproducers need
+    /// ("drop exactly the third segment of the run").
+    pub drop_at: u64,
+    /// Width of the `drop_at` window (0 is treated as 1).
+    pub drop_burst: u64,
     /// Seed of the probabilistic fault stream. Only consulted when
     /// `probs` has a non-zero knob; a zero seed is valid (the generator
     /// remaps it, see [`crate::rng::XorShift64::new`]).
@@ -402,7 +412,10 @@ impl Loopback {
             Some(dice) => dice.decide(&fault.probs, payload_len > 0),
             None => FaultDecision::default(),
         };
-        if decision.drop || every(fault.drop_every) {
+        let one_shot_drop = fault.drop_at != 0
+            && self.sent >= fault.drop_at
+            && self.sent < fault.drop_at + fault.drop_burst.max(1);
+        if decision.drop || every(fault.drop_every) || one_shot_drop {
             self.dropped += 1;
             return;
         }
@@ -590,6 +603,20 @@ mod tests {
             l2
         };
         let _ = &mut lb2;
+    }
+
+    #[test]
+    fn drop_at_targets_an_exact_send_window() {
+        let (space, mut lb, user) = fixture();
+        let rx = lb.register(80);
+        lb.set_faults(FaultPlan { drop_at: 3, drop_burst: 2, ..Default::default() });
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for _ in 0..6 {
+            lb.send(&mut m, 1, 2, 80, user.at(0), user.at(64), 4);
+        }
+        assert_eq!(lb.dropped, 2, "exactly datagrams 3 and 4 dropped");
+        assert_eq!(lb.pending(rx), 4);
     }
 
     #[test]

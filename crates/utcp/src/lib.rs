@@ -10,8 +10,11 @@
 //!
 //! Protocol profile, per the paper:
 //!
-//! * fixed 20-byte TCP headers, **no options** ("TCP header options are
-//!   avoided to ensure fixed-size headers");
+//! * fixed 20-byte TCP headers on every **data** TPDU ("TCP header
+//!   options are avoided to ensure fixed-size headers" — the ILP
+//!   alignment argument rests on it); as a documented deviation, pure
+//!   ACKs may carry an RFC 2018 SACK option for loss recovery
+//!   (see [`wire`]);
 //! * a connection carries data in **one direction only**; the reverse
 //!   direction carries pure ACKs;
 //! * one TSDU maps to exactly one TPDU (the ALF rule) — no segmentation
@@ -54,4 +57,4 @@ pub use conn::{Connection, Delivered, SendError, UtcpConfig};
 pub use kernelpart::{Datagram, EndpointId, FaultDice, FaultPlan, FaultProbs, Loopback};
 pub use ring::{RingWriter, SendRing};
 pub use ip::{Ipv4Header, IP_HEADER_LEN};
-pub use wire::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+pub use wire::{sack_option_len, SackBlocks, TcpFlags, TcpHeader, MAX_SACK_BLOCKS, TCP_HEADER_LEN};

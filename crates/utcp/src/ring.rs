@@ -213,6 +213,12 @@ impl SendRing {
         self.extents.front().copied()
     }
 
+    /// All buffered extents, oldest first — the fast-retransmit
+    /// scoreboard walks this to find the holes between sacked ranges.
+    pub fn extents(&self) -> impl Iterator<Item = &Extent> {
+        self.extents.iter()
+    }
+
     /// Absolute memory address of byte `off` within the ring.
     pub fn addr(&self, off: usize) -> usize {
         self.region.at(off)

@@ -7,13 +7,25 @@
 //! ```text
 //! cargo run --release --offline --example dst_repro -- 0x11f95007
 //! cargo run --release --offline --example dst_repro -- 0x11f95007 --inject-ring-bug
+//! cargo run --release --offline --example dst_repro -- --fast-retransmit
+//! cargo run --release --offline --example dst_repro -- --sack-holes
 //! ```
 //!
 //! The second form re-introduces the historical send-ring saturated-
 //! tail wrap bug behind the test hook and shows what the sweep prints
 //! when an oracle fires: the failure message, the shrunk scenario, and
 //! a ready-to-paste `#[test]` reproducer.
+//!
+//! The last two forms replay the pinned loss-recovery worlds: one
+//! mid-transfer drop repaired by a single fast retransmission (~1 RTT,
+//! no RTO), and a two-segment burst whose holes SACK + NewReno partial
+//! ACKs fill without the timer. Both run under the full per-tick
+//! oracle set on the ILP and non-ILP paths, check the observed ≡
+//! unobserved twins, and print a pasteable `#[test]`.
 
+use sim::recovery::{
+    burst_drop, burst_drop_config, single_drop, single_drop_config, twins_agree, RecoveryOutcome,
+};
 use sim::{run_caught, shrink, RunOptions, Scenario};
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -23,15 +35,65 @@ fn parse_u64(s: &str) -> Option<u64> {
     }
 }
 
+/// Run one pinned recovery world on both paths plus its twin check,
+/// print the recovery trace, and emit a pasteable `#[test]`.
+fn replay_recovery(
+    name: &str,
+    world: fn(server::Path) -> Result<RecoveryOutcome, String>,
+    config: fn() -> server::ServerConfig,
+) -> std::process::ExitCode {
+    use server::Path;
+    for path in [Path::Ilp, Path::NonIlp] {
+        match world(path) {
+            Ok(out) => println!(
+                "{name} ({path:?}): {} rounds, {} fast retransmits, {} RTO back-offs, \
+                 {} SACKed bytes, {} oracle checks",
+                out.report.rounds,
+                out.fast_retransmits,
+                out.rto_backoffs,
+                out.sacked_bytes,
+                out.checks
+            ),
+            Err(msg) => {
+                println!("{name} ({path:?}) FAILED: {msg}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+        if let Err(msg) = twins_agree(&config(), path) {
+            println!("{name} ({path:?}) twin check FAILED: {msg}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    println!("observed ≡ unobserved twins agree on both paths\n");
+    println!("paste to pin this behaviour:\n");
+    println!("#[test]");
+    println!("fn {name}_repro() {{");
+    println!("    for path in [server::Path::Ilp, server::Path::NonIlp] {{");
+    println!("        sim::recovery::{name}(path).unwrap_or_else(|e| panic!(\"{{e}}\"));");
+    println!("        sim::recovery::twins_agree(&sim::recovery::{name}_config(), path)");
+    println!("            .unwrap_or_else(|e| panic!(\"{{e}}\"));");
+    println!("    }}");
+    println!("}}");
+    std::process::ExitCode::SUCCESS
+}
+
 fn main() -> std::process::ExitCode {
     let mut seed = 0x11F9_5007u64;
     let mut opts = RunOptions::default();
     for a in std::env::args().skip(1) {
         match (a.as_str(), parse_u64(&a)) {
             ("--inject-ring-bug", _) => opts.inject_ring_bug = true,
+            ("--fast-retransmit", _) => {
+                return replay_recovery("single_drop", single_drop, single_drop_config);
+            }
+            ("--sack-holes", _) => {
+                return replay_recovery("burst_drop", burst_drop, burst_drop_config);
+            }
             (_, Some(s)) => seed = s,
             _ => {
-                eprintln!("usage: dst_repro [SEED] [--inject-ring-bug]");
+                eprintln!(
+                    "usage: dst_repro [SEED] [--inject-ring-bug | --fast-retransmit | --sack-holes]"
+                );
                 return std::process::ExitCode::FAILURE;
             }
         }

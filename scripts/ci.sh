@@ -85,6 +85,18 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_health.jso
     clean.base_seed:num clean.seeds:num clean.checks:num clean.false_positives:num \
     overhead.hot_path_identical:bool overhead.analyze_wall_us:num
 
+echo "== loss recovery: goodput-vs-loss curve, fast retransmit vs RTO-only baseline =="
+cargo run -q --release --offline -p bench --bin exp_loss
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_loss.json \
+    experiment:str seed:num file_len:num points:arr \
+    points.0.loss_pct:num points.0.drop_prob:num points.0.paths_agree:bool \
+    points.0.paths.ilp.rounds:num points.0.paths.ilp.fast_retransmits:num \
+    points.0.paths.ilp.rto_backoffs:num points.0.paths.ilp.sacked_bytes:num \
+    points.0.paths.ilp.goodput_bytes_per_round:num \
+    points.3.paths.non_ilp.rounds:num \
+    baseline_1pct.rto_only_rounds:num baseline_1pct.recovery_rounds:num \
+    baseline_1pct.recovery_beats_rto_only:bool
+
 echo "== doctor: render the diagnostic bundle end-to-end =="
 cargo run -q --release --offline --example doctor > /dev/null
 

@@ -70,9 +70,15 @@ fn mod2_drop_phase_locks_with_the_rto_cycle() {
         suite.tx.tick(m, &mut suite.lb);
     };
 
-    // Warm up long enough for the phase-lock to set in (it starts at
-    // the first lost data segment), then watch a long window.
-    for _ in 0..64 {
+    // Warm up long enough for the phase-lock to set in. It no longer
+    // starts at the first lost data segment: the PR-8 receiver holds
+    // out-of-order segments for SACK, so the mod-2 duplicates leak a
+    // few future segments past the hole before the periodic drop and
+    // the RTO cycle align (observed lock-in by round ~200; 512 rounds
+    // of slack). Fast retransmit never fires here — the stalled
+    // window cannot clock three duplicate ACKs — so once aligned, the
+    // drop still eats every timer retransmission, forever.
+    for _ in 0..512 {
         step(&mut suite, &mut m);
     }
     let frozen_at = suite.rx.stats.accepted;
