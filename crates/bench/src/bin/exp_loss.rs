@@ -45,6 +45,7 @@ fn loss_config(drop: u16, loss_recovery: bool) -> ServerConfig {
         ring_capacity: 16 * 1024,
         max_rounds: 500_000,
         loss_recovery,
+        trace_every: 0,
     }
 }
 

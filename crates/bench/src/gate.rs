@@ -227,6 +227,49 @@ pub fn manifest() -> Vec<FileManifest> {
             ],
         },
         FileManifest {
+            file: "BENCH_trace.json",
+            checks: vec![
+                // The segment-trace store is virtual-clock output on a
+                // fixed config: chain counts, origin split (sampled vs
+                // loss-promoted), and the four critical-path components
+                // all gate bit-exact. A protocol change that shifts one
+                // retransmission moves the recovery component; a
+                // sampling or propagation bug moves the origin split or
+                // drops a chain.
+                e("conns"),
+                e("file_len"),
+                e("trace_every"),
+                e("ilp.traces"),
+                e("ilp.origin_sampled"),
+                e("ilp.origin_promoted"),
+                e("ilp.origin_wire"),
+                e("ilp.no_orphans"),
+                e("ilp.decomposition_exact"),
+                e("ilp.latency_matches_histogram"),
+                e("ilp.components.completed"),
+                e("ilp.components.queueing"),
+                e("ilp.components.recovery"),
+                e("ilp.components.propagation"),
+                e("ilp.components.processing"),
+                e("ilp.components.total"),
+                e("ilp.components.measured_latency"),
+                e("non_ilp.traces"),
+                e("non_ilp.decomposition_exact"),
+                e("non_ilp.latency_matches_histogram"),
+                e("non_ilp.components.total"),
+                e("sampled.traces"),
+                e("sampled.origin_sampled"),
+                e("sampled.origin_promoted"),
+                e("sampled.origin_wire"),
+                e("sampled.decomposition_exact"),
+                e("sampled.components.completed"),
+                e("sampled.components.recovery"),
+                e("deterministic"),
+                e("unperturbed"),
+                Check::new("wall_us", Policy::ReportOnly),
+            ],
+        },
+        FileManifest {
             file: "BENCH_wire.json",
             checks: vec![
                 // Real-socket wall-clock numbers: machine-dependent by

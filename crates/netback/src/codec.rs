@@ -20,18 +20,32 @@
 //! IPv4 header, TCP header, payload — so the receiving side's
 //! validation path ([`utcp::Connection::poll_input`]) is identical over
 //! both backends.
+//!
+//! A [`KIND_TRACED`] frame additionally carries a 10-byte segment-trace
+//! tag **between the envelope header and the inner datagram** — the
+//! out-of-band context channel of `obs::segtrace` across real OS
+//! processes. The inner bytes are untouched either way: a traced run
+//! and an untraced run put byte-identical TPDUs on the wire, only the
+//! envelope differs.
 
+use obs::SegTag;
 use std::fmt;
 
 /// Frame magic: "IL" — rejects datagrams from unrelated programs fast.
 pub const MAGIC: [u8; 2] = *b"IL";
 /// Codec version; bumped on any layout change.
 pub const VERSION: u8 = 1;
-/// Frame kind: a utcp datagram (the only kind, but the field keeps
+/// Frame kind: a utcp datagram (the original kind; the field keeps
 /// control frames representable without a version bump).
 pub const KIND_SEGMENT: u8 = 1;
+/// Frame kind: a utcp datagram preceded by a [`TAG_LEN`]-byte
+/// segment-trace tag (connection id `u32` BE, chunk `u32` BE,
+/// transmission ordinal `u16` BE).
+pub const KIND_TRACED: u8 = 2;
 /// Envelope bytes preceding the inner datagram.
 pub const HEADER_LEN: usize = 6;
+/// Trace-tag bytes in a [`KIND_TRACED`] frame.
+pub const TAG_LEN: usize = 10;
 /// Largest inner datagram accepted: the loop-back's kernel slot size /
 /// link MTU. Anything larger could not have come from this stack.
 pub const MAX_INNER: usize = 2048;
@@ -118,27 +132,57 @@ impl std::error::Error for CodecError {}
 /// outside the representable segment sizes — the encoder enforces the
 /// same bounds the decoder does, so every encoded frame round-trips.
 pub fn encode(inner: &[u8]) -> Result<Vec<u8>, CodecError> {
+    encode_frame(inner, None)
+}
+
+/// Wrap one utcp datagram with an out-of-band segment-trace tag (a
+/// [`KIND_TRACED`] frame).
+///
+/// # Errors
+/// Same bounds as [`encode`].
+pub fn encode_traced(inner: &[u8], tag: SegTag) -> Result<Vec<u8>, CodecError> {
+    encode_frame(inner, Some(tag))
+}
+
+fn encode_frame(inner: &[u8], tag: Option<SegTag>) -> Result<Vec<u8>, CodecError> {
     if inner.len() > MAX_INNER {
         return Err(CodecError::Oversized { declared: inner.len(), max: MAX_INNER });
     }
     if inner.len() < MIN_INNER {
         return Err(CodecError::Runt { len: inner.len() });
     }
-    let mut out = Vec::with_capacity(HEADER_LEN + inner.len());
+    let tag_len = if tag.is_some() { TAG_LEN } else { 0 };
+    let mut out = Vec::with_capacity(HEADER_LEN + tag_len + inner.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(KIND_SEGMENT);
+    out.push(if tag.is_some() { KIND_TRACED } else { KIND_SEGMENT });
     out.extend_from_slice(&(inner.len() as u16).to_be_bytes());
+    if let Some(t) = tag {
+        out.extend_from_slice(&t.conn.to_be_bytes());
+        out.extend_from_slice(&t.chunk.to_be_bytes());
+        out.extend_from_slice(&t.xmit.to_be_bytes());
+    }
     out.extend_from_slice(inner);
     Ok(out)
 }
 
-/// Validate a frame and return the inner datagram bytes.
+/// Validate a frame and return the inner datagram bytes (either kind;
+/// a traced frame's tag is dropped — see [`decode_frame`]).
 ///
 /// # Errors
 /// A [`CodecError`] describing the first check that failed; arbitrary
 /// input never panics (see the fuzz tests below).
 pub fn decode(frame: &[u8]) -> Result<&[u8], CodecError> {
+    decode_frame(frame).map(|(inner, _)| inner)
+}
+
+/// Validate a frame and return the inner datagram bytes plus the
+/// segment-trace tag a [`KIND_TRACED`] frame carried.
+///
+/// # Errors
+/// A [`CodecError`] describing the first check that failed; arbitrary
+/// input never panics (see the fuzz tests below).
+pub fn decode_frame(frame: &[u8]) -> Result<(&[u8], Option<SegTag>), CodecError> {
     if frame.len() < HEADER_LEN {
         return Err(CodecError::Truncated { got: frame.len() });
     }
@@ -148,9 +192,11 @@ pub fn decode(frame: &[u8]) -> Result<&[u8], CodecError> {
     if frame[2] != VERSION {
         return Err(CodecError::BadVersion { got: frame[2] });
     }
-    if frame[3] != KIND_SEGMENT {
-        return Err(CodecError::BadKind { got: frame[3] });
-    }
+    let traced = match frame[3] {
+        KIND_SEGMENT => false,
+        KIND_TRACED => true,
+        other => return Err(CodecError::BadKind { got: other }),
+    };
     let declared = u16::from_be_bytes([frame[4], frame[5]]) as usize;
     if declared > MAX_INNER {
         return Err(CodecError::Oversized { declared, max: MAX_INNER });
@@ -158,11 +204,17 @@ pub fn decode(frame: &[u8]) -> Result<&[u8], CodecError> {
     if declared < MIN_INNER {
         return Err(CodecError::Runt { len: declared });
     }
-    let actual = frame.len() - HEADER_LEN;
-    if declared != actual {
+    let preamble = HEADER_LEN + if traced { TAG_LEN } else { 0 };
+    let actual = frame.len().saturating_sub(preamble);
+    if frame.len() < preamble || declared != actual {
         return Err(CodecError::LengthMismatch { declared, actual });
     }
-    Ok(&frame[HEADER_LEN..])
+    let tag = traced.then(|| SegTag {
+        conn: u32::from_be_bytes([frame[6], frame[7], frame[8], frame[9]]),
+        chunk: u32::from_be_bytes([frame[10], frame[11], frame[12], frame[13]]),
+        xmit: u16::from_be_bytes([frame[14], frame[15]]),
+    });
+    Ok((&frame[preamble..], tag))
 }
 
 #[cfg(test)]
@@ -181,6 +233,36 @@ mod tests {
             let frame = encode(&inner).unwrap();
             assert_eq!(frame.len(), HEADER_LEN + len);
             assert_eq!(decode(&frame).unwrap(), &inner[..]);
+            assert_eq!(decode_frame(&frame).unwrap(), (&inner[..], None));
+        }
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_tag_and_leave_inner_untouched() {
+        let tag = SegTag { conn: 0xDEAD_BEEF, chunk: 41, xmit: 3 };
+        for len in [MIN_INNER, 577, MAX_INNER] {
+            let inner = valid_inner(len, (len % 193) as u8);
+            let plain = encode(&inner).unwrap();
+            let traced = encode_traced(&inner, tag).unwrap();
+            assert_eq!(traced.len(), plain.len() + TAG_LEN);
+            let (got, got_tag) = decode_frame(&traced).unwrap();
+            assert_eq!(got, &inner[..]);
+            assert_eq!(got_tag, Some(tag));
+            // The tag rides in the envelope only: inner bytes of the
+            // traced and untraced frames are byte-identical.
+            assert_eq!(&traced[HEADER_LEN + TAG_LEN..], &plain[HEADER_LEN..]);
+            // The tag-agnostic decoder accepts the traced frame too.
+            assert_eq!(decode(&traced).unwrap(), &inner[..]);
+        }
+    }
+
+    #[test]
+    fn traced_frame_with_missing_tag_bytes_is_a_length_mismatch() {
+        let inner = valid_inner(64, 9);
+        let traced = encode_traced(&inner, SegTag { conn: 1, chunk: 2, xmit: 0 }).unwrap();
+        // Cut inside the tag area: shorter than header + tag.
+        for cut in HEADER_LEN..HEADER_LEN + TAG_LEN {
+            assert!(decode_frame(&traced[..cut]).is_err(), "cut at {cut} decoded Ok");
         }
     }
 
@@ -218,11 +300,12 @@ mod tests {
     fn fuzz_random_bytes_never_panic() {
         let mut rng = XorShift64::new(0xC0DEC);
         for _ in 0..20_000 {
-            let len = rng.below(HEADER_LEN as u64 + MAX_INNER as u64 + 64) as usize;
+            let len = rng.below(HEADER_LEN as u64 + TAG_LEN as u64 + MAX_INNER as u64 + 64) as usize;
             let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-            if let Ok(inner) = decode(&buf) {
+            if let Ok((inner, tag)) = decode_frame(&buf) {
                 assert_eq!(&buf[0..2], &MAGIC);
-                assert_eq!(inner.len(), buf.len() - HEADER_LEN);
+                let preamble = HEADER_LEN + if tag.is_some() { TAG_LEN } else { 0 };
+                assert_eq!(inner.len(), buf.len() - preamble);
             }
         }
     }
@@ -232,35 +315,43 @@ mod tests {
     #[test]
     fn fuzz_random_cuts_of_valid_frames_error() {
         let mut rng = XorShift64::new(0xA11CE);
-        for _ in 0..5_000 {
+        for round in 0..5_000u32 {
             let len = MIN_INNER + rng.below((MAX_INNER - MIN_INNER) as u64 + 1) as usize;
             let inner: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-            let frame = encode(&inner).unwrap();
+            let frame = if round % 2 == 0 {
+                encode(&inner).unwrap()
+            } else {
+                encode_traced(&inner, SegTag { conn: round, chunk: round ^ 7, xmit: 1 }).unwrap()
+            };
             // Random cut strictly inside the frame.
             let cut = rng.below(frame.len() as u64) as usize;
-            match decode(&frame[..cut]) {
+            match decode_frame(&frame[..cut]) {
                 Err(_) => {}
                 Ok(_) => panic!("cut frame ({cut}/{} bytes) decoded Ok", frame.len()),
             }
             // Trailing garbage must be caught by the length cross-check.
             let mut padded = frame.clone();
             padded.extend_from_slice(&[0xEE; 3]);
-            assert!(matches!(decode(&padded), Err(CodecError::LengthMismatch { .. })));
+            assert!(matches!(decode_frame(&padded), Err(CodecError::LengthMismatch { .. })));
         }
     }
 
-    /// Fuzz: flipping one byte of a valid frame either still decodes
-    /// (payload byte) or yields a typed error (header byte) — no panic.
+    /// Fuzz: flipping one bit of a valid frame (either kind) either
+    /// still decodes (payload or tag byte) or yields a typed error
+    /// (header byte) — no panic.
     #[test]
     fn fuzz_single_byte_corruption_never_panics() {
         let mut rng = XorShift64::new(0xF11B);
         let inner: Vec<u8> = (0..512).map(|i| i as u8).collect();
-        let frame = encode(&inner).unwrap();
-        for _ in 0..10_000 {
-            let mut dam = frame.clone();
+        let frames = [
+            encode(&inner).unwrap(),
+            encode_traced(&inner, SegTag { conn: 3, chunk: 9, xmit: 0 }).unwrap(),
+        ];
+        for round in 0..10_000 {
+            let mut dam = frames[round % 2].clone();
             let at = rng.below(dam.len() as u64) as usize;
             dam[at] ^= (1 << rng.below(8)) as u8;
-            let _ = decode(&dam);
+            let _ = decode_frame(&dam);
         }
     }
 }

@@ -25,6 +25,7 @@ use crate::codec::{self, CodecError};
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::Mem;
+use obs::SegTag;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -46,6 +47,9 @@ const DST_PORT_OFF: usize = IP_HEADER_LEN + 2;
 struct Endpoint {
     port: u16,
     queue: VecDeque<Datagram>,
+    /// Segment-trace tags in lockstep with `queue` (out-of-band
+    /// context from [`codec::KIND_TRACED`] envelopes).
+    tags: VecDeque<Option<SegTag>>,
 }
 
 /// A [`KernelPart`] backend over one UDP socket.
@@ -84,6 +88,11 @@ pub struct UdpBackend {
     queued: usize,
     /// High-water mark of `queued` (slots recycle at `SLOTS`).
     pub peak_queued: usize,
+    /// Trace context armed for the next send (rides the envelope as a
+    /// [`codec::KIND_TRACED`] frame; inner bytes stay untouched).
+    send_ctx: Option<SegTag>,
+    /// Trace context of the last datagram `recv_into` handed out.
+    last_ctx: Option<SegTag>,
 }
 
 impl UdpBackend {
@@ -118,6 +127,8 @@ impl UdpBackend {
             would_block: 0,
             queued: 0,
             peak_queued: 0,
+            send_ctx: None,
+            last_ctx: None,
         })
     }
 
@@ -167,7 +178,7 @@ impl UdpBackend {
     /// Pull everything out of the socket into the per-port queues,
     /// depositing each datagram into a kernel slot via `m`.
     fn drain_socket<M: Mem>(&mut self, m: &mut M) {
-        let mut buf = [0u8; codec::HEADER_LEN + codec::MAX_INNER];
+        let mut buf = [0u8; codec::HEADER_LEN + codec::TAG_LEN + codec::MAX_INNER];
         loop {
             let (n, from) = match self.socket.recv_from(&mut buf) {
                 Ok(ok) => ok,
@@ -179,8 +190,8 @@ impl UdpBackend {
                 // on Linux) like an empty socket; TCP retransmits.
                 Err(_) => return,
             };
-            let inner = match codec::decode(&buf[..n]) {
-                Ok(inner) => inner,
+            let (inner, tag) = match codec::decode_frame(&buf[..n]) {
+                Ok(ok) => ok,
                 Err(_e) => {
                     self.decode_errors += 1;
                     continue;
@@ -208,6 +219,7 @@ impl UdpBackend {
             m.compute(30);
             m.phase_pop();
             self.endpoints[idx].queue.push_back(Datagram { addr: slot, len: inner.len() });
+            self.endpoints[idx].tags.push_back(tag);
             self.queued += 1;
             self.peak_queued = self.peak_queued.max(self.queued);
         }
@@ -217,7 +229,7 @@ impl UdpBackend {
 impl KernelPart for UdpBackend {
     fn register(&mut self, port: u16) -> EndpointId {
         assert!(!self.by_port.contains_key(&port), "port {port} already registered");
-        self.endpoints.push(Endpoint { port, queue: VecDeque::new() });
+        self.endpoints.push(Endpoint { port, queue: VecDeque::new(), tags: VecDeque::new() });
         let id = self.endpoints.len() - 1;
         self.by_port.insert(port, id);
         EndpointId::from_index(id)
@@ -260,7 +272,12 @@ impl KernelPart for UdpBackend {
             *b = m.read_u8(self.staging.at(i));
         }
         m.phase_pop();
-        let frame = codec::encode(&inner).expect("assembled datagram is within codec bounds");
+        let ctx = self.send_ctx.take();
+        let frame = match ctx {
+            Some(tag) => codec::encode_traced(&inner, tag),
+            None => codec::encode(&inner),
+        }
+        .expect("assembled datagram is within codec bounds");
         let dest = self.routes.get(&dst_port).copied().or(self.peer);
         let Some(dest) = dest else {
             self.send_errors += 1;
@@ -274,11 +291,21 @@ impl KernelPart for UdpBackend {
 
     fn recv_into<M: Mem>(&mut self, m: &mut M, id: EndpointId) -> Option<Datagram> {
         self.drain_socket(m);
-        let d = self.endpoints[id.index()].queue.pop_front();
+        let ep = &mut self.endpoints[id.index()];
+        let d = ep.queue.pop_front();
         if d.is_some() {
+            self.last_ctx = ep.tags.pop_front().flatten();
             self.queued -= 1;
         }
         d
+    }
+
+    fn set_send_ctx(&mut self, ctx: Option<SegTag>) {
+        self.send_ctx = ctx;
+    }
+
+    fn take_recv_ctx(&mut self) -> Option<SegTag> {
+        self.last_ctx.take()
     }
 
     fn pending(&self, id: EndpointId) -> usize {
@@ -382,6 +409,51 @@ mod tests {
         // The polling recv loop sees EWOULDBLOCK while the datagram is
         // in flight; the counter surfaces that rather than hiding it.
         assert_eq!(c.would_block, b.would_block);
+    }
+
+    #[test]
+    fn trace_context_rides_the_envelope_and_leaves_the_datagram_untouched() {
+        let mut space = AddressSpace::new();
+        let Some((mut a, mut b)) = pair(&mut space) else {
+            eprintln!("skipping: sandbox denies UDP sockets");
+            return;
+        };
+        let rx = b.register(8080);
+        let user = space.alloc("user", 4096, 8);
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        TcpHeader::at(user.base).build(&mut m, 1111, 8080, 7, 0, TcpFlags::DATA, 512);
+        for i in 0..8 {
+            m.write_u8(user.at(64 + i), 0xA0 + i as u8);
+        }
+        // First copy travels untraced, second carries a tag; the inner
+        // datagram bytes each one delivers must be identical.
+        a.send(&mut m, 0x0A00_0001, 0x0A00_0002, 8080, user.base, user.at(64), 8);
+        let tag = SegTag { conn: 3, chunk: 41, xmit: 2 };
+        a.set_send_ctx(Some(tag));
+        a.send(&mut m, 0x0A00_0001, 0x0A00_0002, 8080, user.base, user.at(64), 8);
+        let plain = recv_deadline(&mut b, &mut m, rx).expect("untraced datagram");
+        assert_eq!(b.take_recv_ctx(), None);
+        let traced = recv_deadline(&mut b, &mut m, rx).expect("traced datagram");
+        assert_eq!(b.take_recv_ctx(), Some(tag));
+        // Context is consumed on take; it must not bleed into later polls.
+        assert_eq!(b.take_recv_ctx(), None);
+        assert_eq!(plain.len, traced.len);
+        let plain_bytes: Vec<u8> =
+            (0..plain.len).map(|i| m.read_u8(plain.addr + i)).collect();
+        let traced_bytes: Vec<u8> =
+            (0..traced.len).map(|i| m.read_u8(traced.addr + i)).collect();
+        // IPv4 ident differs between the two sends; mask it (and its
+        // checksum) out — everything else must match byte for byte.
+        let ident_off = 4;
+        let cksum_off = 10;
+        for i in 0..plain.len {
+            if (ident_off..ident_off + 2).contains(&i) || (cksum_off..cksum_off + 2).contains(&i)
+            {
+                continue;
+            }
+            assert_eq!(plain_bytes[i], traced_bytes[i], "inner byte {i} differs");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
+use crate::health::{Detector, Verdict};
 use crate::json::Json;
 use crate::recorder::Recorder;
 use crate::span::{Counter, Layer, Metric, PathLabel, Stage};
@@ -18,6 +19,17 @@ use crate::trace::TraceRing;
 /// cumulative `_bucket{le="…"}` lines plus `_sum` and `_count`, exactly
 /// as the format specifies.
 pub fn prometheus_text(r: &Recorder) -> String {
+    prometheus_text_with_health(r, &[])
+}
+
+/// [`prometheus_text`] plus the health layer: one
+/// `ilp_health_verdicts{detector="…"}` gauge per detector (all five
+/// are always exported — a healthy run scrapes as explicit zeros, not
+/// absent series) and the latest *sealed* time-series window as
+/// `ilp_window_delta{counter="…"}` gauges. The open window is excluded
+/// on purpose: it is still accumulating, so scraping it would show
+/// partial deltas that shrink-on-refresh in a dashboard.
+pub fn prometheus_text_with_health(r: &Recorder, verdicts: &[Verdict]) -> String {
     let mut out = String::new();
 
     for &c in &Counter::ALL {
@@ -57,6 +69,34 @@ pub fn prometheus_text(r: &Recorder) -> String {
         out.push_str(&format!("ilp_{name}_count {}\n", h.count()));
     }
 
+    out.push_str("# TYPE ilp_health_verdicts gauge\n");
+    for &d in &Detector::ALL {
+        let n = verdicts.iter().filter(|v| v.detector == d).count();
+        out.push_str(&format!("ilp_health_verdicts{{detector=\"{}\"}} {n}\n", d.name()));
+    }
+
+    let series = r.series();
+    let retained = series.len();
+    if series.sealed() > 0 && retained >= 2 {
+        // `iter()` runs oldest → newest and always ends with the open
+        // window, so the latest sealed one is second from the end.
+        if let Some(w) = series.iter().nth(retained - 2) {
+            let wt = series.config().window_ticks;
+            out.push_str("# TYPE ilp_window_start_tick gauge\n");
+            out.push_str(&format!("ilp_window_start_tick {}\n", w.start_tick(wt)));
+            out.push_str("# TYPE ilp_window_ticks gauge\n");
+            out.push_str(&format!("ilp_window_ticks {}\n", w.ticks(wt)));
+            out.push_str("# TYPE ilp_window_delta gauge\n");
+            for &c in &Counter::ALL {
+                out.push_str(&format!(
+                    "ilp_window_delta{{counter=\"{}\"}} {}\n",
+                    c.name(),
+                    w.counter(c)
+                ));
+            }
+        }
+    }
+
     out
 }
 
@@ -69,12 +109,31 @@ pub fn prometheus_text(r: &Recorder) -> String {
 /// event carries the caller's `label` — arbitrary text, escaped by the
 /// JSON renderer like everything else.
 pub fn chrome_trace(trace: &TraceRing, label: &str) -> Json {
-    let mut events = vec![Json::obj()
-        .set("name", Json::Str("process_name".to_string()))
-        .set("ph", Json::Str("M".to_string()))
-        .set("pid", Json::U64(0))
-        .set("tid", Json::U64(0))
-        .set("args", Json::obj().set("name", Json::Str(label.to_string())))];
+    chrome_trace_doc(chrome_trace_events(trace, label, 0))
+}
+
+/// The event list of [`chrome_trace`] with an explicit `pid`, for
+/// building merged multi-process documents: each shard exports its ring
+/// under its own pid and the concatenation loads as one timeline with
+/// every process row labelled. Besides the `process_name` metadata
+/// event this emits one `thread_name` metadata event per connection
+/// row that appears in the ring, so `chrome://tracing` shows
+/// `conn 7` instead of a bare thread id — with global connection ids
+/// (`conn_base`), merged shard exports stay unambiguous.
+pub fn chrome_trace_events(trace: &TraceRing, label: &str, pid: u64) -> Vec<Json> {
+    let meta = |name: &str, tid: u64, value: &str| {
+        Json::obj()
+            .set("name", Json::Str(name.to_string()))
+            .set("ph", Json::Str("M".to_string()))
+            .set("pid", Json::U64(pid))
+            .set("tid", Json::U64(tid))
+            .set("args", Json::obj().set("name", Json::Str(value.to_string())))
+    };
+    let mut events = vec![meta("process_name", 0, label)];
+    let conns: std::collections::BTreeSet<u32> = trace.iter().map(|e| e.conn).collect();
+    for c in conns {
+        events.push(meta("thread_name", u64::from(c), &format!("conn {c}")));
+    }
     events.extend(trace.iter().map(|e| {
         Json::obj()
             .set("name", Json::Str(e.kind.name().to_string()))
@@ -82,10 +141,17 @@ pub fn chrome_trace(trace: &TraceRing, label: &str) -> Json {
             .set("ph", Json::Str("i".to_string()))
             .set("s", Json::Str("t".to_string()))
             .set("ts", Json::U64(e.tick))
-            .set("pid", Json::U64(0))
+            .set("pid", Json::U64(pid))
             .set("tid", Json::U64(e.conn as u64))
             .set("args", Json::obj().set("value", Json::U64(e.value)))
     }));
+    events
+}
+
+/// Wrap a flat event list (from [`chrome_trace_events`],
+/// [`crate::segtrace::SegStore::chrome_spans`], or several of each
+/// concatenated) into the Chrome trace document shape.
+pub fn chrome_trace_doc(events: Vec<Json>) -> Json {
     Json::obj()
         .set("traceEvents", Json::Arr(events))
         .set("displayTimeUnit", Json::Str("ms".to_string()))
@@ -165,19 +231,138 @@ mod tests {
         let back = crate::json::parse(&text).expect("chrome trace JSON parses");
         assert_eq!(back, j);
         let events = back.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
-        assert_eq!(events.len(), 3, "metadata + two instants");
+        assert_eq!(events.len(), 4, "process + thread metadata + two instants");
         assert_eq!(events[0].get("ph").and_then(|p| p.as_str()), Some("M"));
         assert_eq!(
             events[0].get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()),
             Some(label),
             "label survives escaping byte-for-byte"
         );
-        assert_eq!(events[1].get("name").and_then(|n| n.as_str()), Some("chunk_sent"));
-        assert_eq!(events[1].get("ts"), Some(&Json::U64(5)));
+        assert_eq!(events[1].get("name").and_then(|n| n.as_str()), Some("thread_name"));
         assert_eq!(events[1].get("tid"), Some(&Json::U64(3)));
-        assert_eq!(events[2].get("name").and_then(|n| n.as_str()), Some("retransmit"));
-        assert_eq!(events[2].get("ts"), Some(&Json::U64(9)));
+        assert_eq!(
+            events[1].get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()),
+            Some("conn 3")
+        );
+        assert_eq!(events[2].get("name").and_then(|n| n.as_str()), Some("chunk_sent"));
+        assert_eq!(events[2].get("ts"), Some(&Json::U64(5)));
+        assert_eq!(events[2].get("tid"), Some(&Json::U64(3)));
+        assert_eq!(events[3].get("name").and_then(|n| n.as_str()), Some("retransmit"));
+        assert_eq!(events[3].get("ts"), Some(&Json::U64(9)));
         assert_eq!(back.get("displayTimeUnit").and_then(|u| u.as_str()), Some("ms"));
+    }
+
+    #[test]
+    fn merged_shard_traces_carry_per_process_labels() {
+        // Two shards export under distinct pids; the concatenated
+        // document must label every process row and keep each instant
+        // under its own shard's pid.
+        let mut a = Recorder::new(8);
+        a.tick(2);
+        a.event(EventKind::ChunkSent, 0, 1);
+        let mut b = Recorder::new(8);
+        b.tick(4);
+        b.event(EventKind::ChunkSent, 5, 1);
+        let mut evs = chrome_trace_events(a.trace(), "shard 0", 0);
+        evs.extend(chrome_trace_events(b.trace(), "shard 1", 1));
+        let doc = chrome_trace_doc(evs);
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let labels: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(|p| p.as_f64()).unwrap() as u64,
+                    e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(labels, vec![(0, "shard 0"), (1, "shard 1")]);
+        let instants: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .map(|e| e.get("pid").and_then(|p| p.as_f64()).unwrap() as u64)
+            .collect();
+        assert_eq!(instants, vec![0, 1], "each instant stays under its shard's pid");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                    && e.get("pid") == Some(&Json::U64(1))
+                    && e.get("tid") == Some(&Json::U64(5))),
+            "shard 1's connection row is labelled under pid 1"
+        );
+    }
+
+    #[test]
+    fn prometheus_health_and_window_sections_are_well_formed() {
+        use crate::health::{Detector, Verdict};
+        use crate::timeseries::SeriesConfig;
+        let mut r = Recorder::with_series(8, SeriesConfig { window_ticks: 4, ring: 4 });
+        // Two sealed windows plus an open one: ticks 0..4, 4..8, 8..
+        r.tick(1);
+        r.count(Counter::ChunksSent, 1);
+        r.tick(5);
+        r.count(Counter::ChunksSent, 2);
+        r.tick(9);
+        r.count(Counter::ChunksSent, 4);
+        let verdicts = vec![
+            Verdict {
+                detector: Detector::RetransmitStorm,
+                conn: Some(1),
+                window_start: Some(0),
+                window_ticks: Some(4),
+                measured: 9.0,
+                threshold: 3.0,
+                detail: "storm".into(),
+            },
+            Verdict {
+                detector: Detector::RetransmitStorm,
+                conn: Some(2),
+                window_start: Some(0),
+                window_ticks: Some(4),
+                measured: 8.0,
+                threshold: 3.0,
+                detail: "storm".into(),
+            },
+            Verdict {
+                detector: Detector::Stall,
+                conn: Some(1),
+                window_start: None,
+                window_ticks: None,
+                measured: 1.0,
+                threshold: 0.5,
+                detail: "stall".into(),
+            },
+        ];
+        let text = prometheus_text_with_health(&r, &verdicts);
+        // Every detector appears exactly once, with its count (zeros
+        // included: absent series and zero are different statements).
+        for d in Detector::ALL {
+            let needle = format!("ilp_health_verdicts{{detector=\"{}\"}}", d.name());
+            assert_eq!(text.matches(&needle).count(), 1, "{needle}");
+        }
+        assert!(text.contains("ilp_health_verdicts{detector=\"retransmit_storm\"} 2\n"));
+        assert!(text.contains("ilp_health_verdicts{detector=\"stall\"} 1\n"));
+        assert!(text.contains("ilp_health_verdicts{detector=\"rto_spiral\"} 0\n"));
+        // The latest *sealed* window is ticks 4..8 (delta 2) — not the
+        // open 8.. window (delta 4) and not the first one (delta 1).
+        assert!(text.contains("ilp_window_start_tick 4\n"));
+        assert!(text.contains("ilp_window_ticks 4\n"));
+        assert!(text.contains("ilp_window_delta{counter=\"chunks_sent\"} 2\n"));
+        // Well-formed exposition: every non-comment line is
+        // `name{labels} value` with a parseable numeric value.
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        }
+        // Without sealed windows the window section is absent.
+        let mut fresh = Recorder::with_series(8, SeriesConfig { window_ticks: 4, ring: 4 });
+        fresh.tick(1);
+        assert!(!prometheus_text(&fresh).contains("ilp_window_start_tick"));
     }
 
     #[test]

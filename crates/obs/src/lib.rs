@@ -32,6 +32,12 @@
 //!   hook), named anomaly detectors (retransmit storm, RTO spiral,
 //!   stall, queue saturation, fairness collapse) run as pure functions
 //!   over merged telemetry, and diagnostic-bundle assembly;
+//! * [`segtrace`] — per-segment causal tracing: span chains keyed by
+//!   (connection, chunk) with a virtual-clock timestamp at every
+//!   lifecycle edge, out-of-band context propagation across the kernel
+//!   part, deterministic sampling with loss-recovery promotion, and an
+//!   exact critical-path latency decomposition
+//!   (queueing/recovery/propagation/processing);
 //! * [`expo`] — exposition: Prometheus-style text dump, a Chrome
 //!   `trace_event` exporter for the trace ring, and the
 //!   machine-readable run-report writer behind the `BENCH_*.json` files.
@@ -49,15 +55,20 @@ pub mod health;
 pub mod hist;
 pub mod json;
 pub mod recorder;
+pub mod segtrace;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
 
-pub use expo::{chrome_trace, prometheus_text, write_report};
+pub use expo::{
+    chrome_trace, chrome_trace_doc, chrome_trace_events, prometheus_text,
+    prometheus_text_with_health, write_report,
+};
 pub use health::{ConnView, Detector, FlightRing, HealthConfig, QueueStat, Verdict};
 pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::Recorder;
+pub use segtrace::{Breakdown, ComponentTotals, Origin, SegEv, SegStore, SegTag, SegTrace, XmitKind};
 pub use span::{
     Counter, EventKind, FlightEdge, FlightSnap, Layer, Metric, NoopObserver, PathLabel,
     SpanObserver, Stage, Work,

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::health::FlightRing;
 use crate::hist::Histogram;
 use crate::json::Json;
+use crate::segtrace::{SegEv, SegStore, SegTag};
 use crate::span::{
     Counter, EventKind, FlightSnap, Layer, Metric, PathLabel, SpanObserver, Stage, Work,
 };
@@ -44,6 +45,9 @@ pub struct Recorder {
     /// Per-connection flight recorders, keyed by *global* connection id
     /// (see [`crate::health`]).
     flights: BTreeMap<u32, FlightRing>,
+    /// Per-segment causal traces (see [`crate::segtrace`]), keyed by
+    /// global connection id + chunk seq.
+    segs: SegStore,
     now: u64,
 }
 
@@ -64,6 +68,7 @@ impl Recorder {
             trace: TraceRing::new(trace_capacity),
             series: SeriesRecorder::new(series),
             flights: BTreeMap::new(),
+            segs: SegStore::default(),
             now: 0,
         }
     }
@@ -71,6 +76,11 @@ impl Recorder {
     /// Per-connection flight recorders, keyed by global connection id.
     pub fn flights(&self) -> &BTreeMap<u32, FlightRing> {
         &self.flights
+    }
+
+    /// The per-segment causal-trace store.
+    pub fn segtrace(&self) -> &SegStore {
+        &self.segs
     }
 
     /// The windowed time series every counter delta and sample also
@@ -159,6 +169,7 @@ impl Recorder {
         for (&conn, ring) in &other.flights {
             self.flights.entry(conn).or_default().merge_from(ring);
         }
+        self.segs.merge_from(&other.segs);
         self.now = self.now.max(other.now);
     }
 
@@ -240,6 +251,7 @@ impl Recorder {
             .set("trace", trace)
             .set("series", self.series.to_json())
             .set("flights", flights)
+            .set("segtrace", self.segs.to_json())
     }
 }
 
@@ -275,6 +287,10 @@ impl SpanObserver for Recorder {
 
     fn flight(&mut self, conn: u32, snap: FlightSnap) {
         self.flights.entry(conn).or_default().push(self.now, snap);
+    }
+
+    fn seg(&mut self, tag: SegTag, ev: SegEv) {
+        self.segs.record(self.now, tag, ev);
     }
 }
 

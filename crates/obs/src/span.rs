@@ -451,6 +451,13 @@ pub trait SpanObserver {
     fn flight(&mut self, conn: u32, snap: FlightSnap) {
         let _ = (conn, snap);
     }
+
+    /// Record a per-segment causal-trace edge (see [`crate::segtrace`]),
+    /// stamped with the last [`SpanObserver::tick`].
+    #[inline]
+    fn seg(&mut self, tag: crate::segtrace::SegTag, ev: crate::segtrace::SegEv) {
+        let _ = (tag, ev);
+    }
 }
 
 /// The observer that observes nothing, at zero cost.
@@ -494,6 +501,11 @@ impl<O: SpanObserver> SpanObserver for &mut O {
     #[inline]
     fn flight(&mut self, conn: u32, snap: FlightSnap) {
         (**self).flight(conn, snap);
+    }
+
+    #[inline]
+    fn seg(&mut self, tag: crate::segtrace::SegTag, ev: crate::segtrace::SegEv) {
+        (**self).seg(tag, ev);
     }
 }
 

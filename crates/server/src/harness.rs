@@ -164,6 +164,12 @@ pub struct ServerConfig {
     /// Off = the RTO-only baseline, kept for the goodput-under-loss
     /// comparison in `exp_loss`.
     pub loss_recovery: bool,
+    /// Causal segment tracing: sample every `trace_every`-th chunk per
+    /// connection (`(conn + chunk) % trace_every == 0`), 0 = off. Loss
+    /// recovery promotes unsampled chunks on their first retransmit.
+    /// Trace context rides *beside* datagrams (out of band), so wire
+    /// bytes and simulated cost are identical at any setting.
+    pub trace_every: u32,
 }
 
 impl Default for ServerConfig {
@@ -178,6 +184,7 @@ impl Default for ServerConfig {
             ring_capacity: 8 * 1024,
             max_rounds: 200_000,
             loss_recovery: true,
+            trace_every: 0,
         }
     }
 }
@@ -321,6 +328,7 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
             // Flight-recorder rings are keyed by this id; using the
             // *global* index keeps shard merges a clean union.
             tx.set_obs_id(g as u32);
+            tx.set_seg_sampling(cfg.trace_every);
             let file = space.alloc_kind("srv_file", cfg.file_len.max(64), 64, RegionKind::AppData);
             table.insert(Session {
                 tx,
@@ -502,6 +510,17 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
         self.report(scheduler)
     }
 
+    /// App-enqueue mark for `chunk` of global connection `g`: the
+    /// moment the chunk became available to the transport (established
+    /// for chunk 0, previous chunk handed off for the rest). Plain host
+    /// bookkeeping — no [`Mem`] traffic.
+    fn seg_enqueue<O: SpanObserver>(&self, obs: &mut O, g: u32, chunk: u32) {
+        if O::ENABLED && self.cfg.trace_every != 0 {
+            let traced = obs::segtrace::sampled(self.cfg.trace_every, g, chunk);
+            obs.seg(obs::SegTag { conn: g, chunk, xmit: 0 }, obs::SegEv::Enqueue { traced });
+        }
+    }
+
     /// Step 1: SYN retries, accepts, SYN-ACK completion.
     fn drive_handshakes<M: Mem, O: SpanObserver>(&mut self, m: &mut M, now: u64, obs: &mut O) {
         let n = self.clients.len();
@@ -546,10 +565,17 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
             let Some(info) = handshake::parse_syn(m, &d, SERVER_IP) else { continue };
             let Some(id) = self.table.lookup_port(info.data_port) else { continue };
             let sess = self.table.get_mut(id);
-            if sess.state == SessionState::Allocated {
+            let newly = sess.state == SessionState::Allocated;
+            if newly {
                 sess.state = SessionState::Established;
                 sess.weight = info.weight.max(1);
                 sess.stats.established_at = now;
+            }
+            let has_work = sess.chunks_total() > 0;
+            if newly && has_work {
+                // Chunk 0 enters the app queue the moment the session
+                // establishes.
+                self.seg_enqueue(obs, (self.cfg.conn_base + id.index()) as u32, 0);
             }
             handshake::server_send_syn_ack(
                 m,
@@ -643,6 +669,8 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
             match outcome {
                 Ok(padded) => {
                     sess.next_chunk += 1;
+                    let granted =
+                        (sess.next_chunk < sess.chunks_total()).then_some(sess.next_chunk as u32);
                     sched.charge(id, padded);
                     if O::ENABLED {
                         obs.count(Counter::ChunksSent, 1);
@@ -650,6 +678,11 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                         let slot = &mut st.send_tick[id.index()][meta.seq as usize];
                         if *slot == u64::MAX {
                             *slot = now;
+                        }
+                        if let Some(chunk) = granted {
+                            // The next chunk becomes available as soon
+                            // as this one was handed to the transport.
+                            self.seg_enqueue(obs, (self.cfg.conn_base + id.index()) as u32, chunk);
                         }
                     }
                 }

@@ -19,7 +19,7 @@ use ilp_core::{
     ilp_run, three_stage_observed, ChecksumTap, DecryptStage, EncryptStage, Fused, Ordering,
     Reject, SegmentPlan,
 };
-use obs::{Layer, NoopObserver, PathLabel, SpanObserver, Stage, Work};
+use obs::{Layer, NoopObserver, PathLabel, SegEv, SpanObserver, Stage, Work};
 use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
@@ -153,6 +153,12 @@ pub fn send_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
     obs: &mut O,
 ) -> Result<usize, SendError> {
     const PATH: PathLabel = PathLabel::NonIlp;
+    let seg = tx.seg_begin(meta.seq);
+    if O::ENABLED {
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::SendStage(Stage::Initial));
+        }
+    }
     let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     let padded = marshal_pass::<C, M>(s, m, meta, data_addr);
     if O::ENABLED {
@@ -162,6 +168,9 @@ pub fn send_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
     cipher::encrypt_buf(cipher, m, s.marshal_buf.base, s.encrypt_buf.base, padded);
     if O::ENABLED {
         obs.span(PATH, Stage::Integrated, Layer::Cipher, Work::delta(before, m.work_counters()));
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::SendStage(Stage::Integrated));
+        }
     }
     let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     m.fetch(s.code_copy);
@@ -172,6 +181,9 @@ pub fn send_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
     m.fetch(s.code_checksum);
     if O::ENABLED {
         obs.span(PATH, Stage::Integrated, Layer::Checksum, Work::delta(before, m.work_counters()));
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::SendStage(Stage::Final));
+        }
     }
     tx.send_buf_obs(m, lb, s.encrypt_buf.base, padded, obs, PATH)?;
     Ok(padded)
@@ -214,6 +226,7 @@ pub fn send_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
     obs: &mut O,
 ) -> Result<usize, SendError> {
     const PATH: PathLabel = PathLabel::Ilp;
+    let seg = tx.seg_begin(meta.seq);
     let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     let padded = meta.padded_len(C::UNIT);
     let plan = SegmentPlan::for_message(
@@ -226,6 +239,9 @@ pub fn send_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
     let (extent, _writer0) = tx.begin_ilp_send(padded)?;
     if O::ENABLED {
         obs.span(PATH, Stage::Initial, Layer::Tcp, Work::delta(before, m.work_counters()));
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::SendStage(Stage::Initial));
+        }
     }
     let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     let words = ReplyWords::new(meta, data_addr, C::UNIT);
@@ -252,6 +268,10 @@ pub fn send_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
     }
     if O::ENABLED {
         obs.span(PATH, Stage::Integrated, Layer::Fused, Work::delta(before, m.work_counters()));
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::SendStage(Stage::Integrated));
+            obs.seg(tag, SegEv::SendStage(Stage::Final));
+        }
     }
     tx.commit_send_obs(m, lb, extent, stages.b.sum(), obs, PATH);
     Ok(padded)
@@ -285,11 +305,20 @@ pub fn recv_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
 ) -> Option<Result<ReplyMeta, Reject>> {
     const PATH: PathLabel = PathLabel::NonIlp;
     let d = rx.poll_input_obs(m, lb, obs, PATH)?;
+    let seg = d.ctx;
+    if O::ENABLED {
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::RecvStage(Stage::Initial));
+        }
+    }
     let before = if O::ENABLED { m.work_counters() } else { (0, 0) };
     m.fetch(s.code_checksum);
     let payload_sum = checksum_buf(m, d.payload_addr, d.payload_len);
     if O::ENABLED {
         obs.span(PATH, Stage::Integrated, Layer::Checksum, Work::delta(before, m.work_counters()));
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::RecvStage(Stage::Integrated));
+        }
     }
     if let Err(e) = rx.finish_recv_obs(m, lb, &d, payload_sum, obs, PATH) {
         return Some(Err(e));
@@ -303,6 +332,9 @@ pub fn recv_chunk_non_ilp_obs<C: CipherKernel, M: Mem, O: SpanObserver>(
     let out = unmarshal_pass(s, m, d.payload_len, app_out);
     if O::ENABLED {
         obs.span(PATH, Stage::Integrated, Layer::Marshal, Work::delta(before, m.work_counters()));
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::RecvStage(Stage::Final));
+        }
     }
     Some(out)
 }
@@ -379,6 +411,12 @@ pub fn recv_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
 ) -> Option<Result<ReplyMeta, Reject>> {
     const PATH: PathLabel = PathLabel::Ilp;
     let d = rx.poll_input_obs(m, lb, obs, PATH)?;
+    let seg = d.ctx;
+    if O::ENABLED {
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::RecvStage(Stage::Initial));
+        }
+    }
     let code = s.code_ilp_recv;
     let verdict = three_stage_observed(
         m,
@@ -412,6 +450,20 @@ pub fn recv_chunk_ilp_obs<C: CipherKernel + Copy, M: Mem, O: SpanObserver>(
             Ok(())
         },
     );
+    // The final stage ran plain `finish_recv` (the combinator closure
+    // has no observer), so its hold/accept/ack marks are parked on the
+    // connection; forward them now, bracketed by the stage marks.
+    if O::ENABLED {
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::RecvStage(Stage::Integrated));
+        }
+    }
+    rx.drain_seg_marks(obs);
+    if O::ENABLED && verdict.is_ok() {
+        if let Some(tag) = seg {
+            obs.seg(tag, SegEv::RecvStage(Stage::Final));
+        }
+    }
     Some(verdict.map(|(_, sink)| sink.meta().expect("checked in final stage").1))
 }
 

@@ -159,6 +159,91 @@ fn series_windows_tile_the_run_and_account_for_every_event() {
     assert!(nonzero > 1, "deliveries should spread across windows");
 }
 
+fn run_traced(path: Path, every: u32) -> (server::AggregateReport, Recorder) {
+    let mut space = AddressSpace::new();
+    let cfg = ServerConfig { trace_every: every, ..faulty_cfg() };
+    let mut h = ScaleHarness::simplified(&mut space, cfg);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    h.init_world(&mut m);
+    let mut rec = Recorder::new(1024);
+    let mut sched = RoundRobin::new();
+    let report = h.run_observed(&mut m, &mut sched, path, &mut rec);
+    assert_eq!(h.verify_outputs(&mut m), None, "{path:?}: delivered data corrupted");
+    (report, rec)
+}
+
+#[test]
+fn segment_traces_decompose_latency_exactly() {
+    // trace_every = 1: every chunk is sampled, so the critical-path
+    // milestones must reproduce the harness's independent latency
+    // histogram to the tick — an exact cross-check, not a tolerance.
+    let (report, rec) = run_traced(Path::Ilp, 1);
+    let store = rec.segtrace();
+    assert!(!store.is_empty());
+    for tr in store.iter() {
+        assert!(tr.no_orphans(), "orphan span: conn {} chunk {}", tr.conn, tr.chunk);
+        if let Some(b) = tr.breakdown() {
+            assert!(b.causal_ok(), "conn {} chunk {}", tr.conn, tr.chunk);
+            assert_eq!(
+                b.queueing() + b.recovery() + b.propagation() + b.processing(),
+                b.total(),
+                "telescoping decomposition must be exact (conn {} chunk {})",
+                tr.conn,
+                tr.chunk
+            );
+        }
+    }
+    let totals = store.totals();
+    let delivered: u64 = report.per_conn.iter().map(|p| p.chunks).sum();
+    assert_eq!(totals.completed, delivered, "every delivered chunk completes its trace");
+    assert_eq!(
+        totals.queueing + totals.recovery + totals.propagation + totals.processing,
+        totals.total
+    );
+    let lat = rec.hist(Metric::ChunkLatencyTicks);
+    assert_eq!(totals.completed, lat.count());
+    assert_eq!(
+        totals.measured_latency,
+        lat.sum(),
+        "trace milestones must reproduce the latency histogram tick-for-tick"
+    );
+    // Drops force retransmission; the consumed copy of some chunk is a
+    // retransmit, so recovery wait surfaces as its own component.
+    assert!(store.iter().any(|t| t.last_xmit().unwrap_or(0) > 0), "no traced retransmit");
+    assert!(totals.recovery > 0, "recovery wait must be attributed");
+}
+
+#[test]
+fn sampled_traces_are_deterministic_and_do_not_perturb_the_run() {
+    // Same seed, same sampling => byte-identical trace stores.
+    let (rep_a, rec_a) = run_traced(Path::Ilp, 4);
+    let (rep_b, rec_b) = run_traced(Path::Ilp, 4);
+    assert_eq!(
+        rec_a.segtrace().to_json().render(),
+        rec_b.segtrace().to_json().render(),
+        "sampled traces must be a pure function of the run"
+    );
+    assert_eq!(rep_a.per_conn, rep_b.per_conn);
+
+    // Tracing is out-of-band: the traced run is indistinguishable from
+    // the untraced one in every protocol-visible way.
+    let (plain, plain_rec) = run_observed(Path::Ilp);
+    assert_eq!(rep_a.rounds, plain.rounds, "tracing must not change scheduling");
+    assert_eq!(rep_a.payload_bytes, plain.payload_bytes);
+    assert_eq!(rep_a.retransmits, plain.retransmits);
+    assert_eq!(rep_a.rejected, plain.rejected);
+    assert!(plain_rec.segtrace().is_empty(), "trace_every = 0 records nothing");
+
+    // Shared-recorder world: the send side always opens the trace
+    // before receive events arrive, so no wire-origin traces; sampling
+    // plus loss-recovery promotion accounts for every trace.
+    let (sampled, promoted, wire) = rec_a.segtrace().origin_counts();
+    assert!(sampled > 0);
+    assert_eq!(wire, 0, "single-process runs never see wire-origin traces");
+    assert_eq!(sampled + promoted, rec_a.segtrace().len() as u64);
+}
+
 #[test]
 fn window_sealed_exactly_at_a_2x_coarsening_boundary_keeps_exact_totals() {
     // ring = 2, so the third sealed base window triggers the first

@@ -18,8 +18,16 @@ fn s1_sharded_run_is_byte_identical_to_unsharded() {
     // rounds — well past one series window (64 virtual ticks) — so the
     // series equality below compares real multi-window structure, not a
     // single half-open window.
-    let cfg =
-        ServerConfig { n_conns: 6, file_len: 64 * 1024, chunk: 128, ..Default::default() };
+    // trace_every = 3 also exercises the segment-trace store across the
+    // seam: the merged S=1 store must reproduce the unsharded one byte
+    // for byte (it is part of the recorder render compared below).
+    let cfg = ServerConfig {
+        n_conns: 6,
+        file_len: 64 * 1024,
+        chunk: 128,
+        trace_every: 3,
+        ..Default::default()
+    };
 
     // The existing unsharded harness, observed.
     let mut space = AddressSpace::new();
@@ -51,6 +59,15 @@ fn s1_sharded_run_is_byte_identical_to_unsharded() {
         sharded.merged.to_json().render(),
         rec.to_json().render(),
         "merged S=1 recorder must reproduce the unsharded recorder"
+    );
+
+    // The segment-trace store specifically: sampled traces survive the
+    // merge as a clean union with identical span chains.
+    assert!(!rec.segtrace().is_empty(), "trace_every = 3 must sample some chunks");
+    assert_eq!(
+        sharded.merged.segtrace().to_json().render(),
+        rec.segtrace().to_json().render(),
+        "merged S=1 segment traces must reproduce the unsharded store"
     );
 
     // The windowed series specifically: merging one shard's series into

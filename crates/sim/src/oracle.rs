@@ -30,6 +30,70 @@ use memsim::Mem;
 use obs::{Counter, Recorder};
 use server::ScaleHarness;
 
+/// Post-run segment-trace oracle over a completed transfer: every span
+/// chain in the store must be causally ordered with no orphan receive
+/// spans (a receive edge whose transmission was never recorded), every
+/// completed chain's telescoping decomposition must be exact, and every
+/// chunk the sampling rule selects must have produced a *completed*
+/// chain — the transfer finished, so a sampled chunk with no Accept
+/// span means context was lost somewhere along the path. Shared-
+/// recorder worlds never see wire-origin traces (the send side always
+/// opens the trace first).
+pub fn check_segtrace(
+    rec: &Recorder,
+    every: u32,
+    n_conns: usize,
+    chunks_per_conn: usize,
+) -> Result<u64, String> {
+    let store = rec.segtrace();
+    let mut checks = 0u64;
+    for tr in store.iter() {
+        if !tr.no_orphans() {
+            return Err(format!("segtrace conn {} chunk {}: orphan span", tr.conn, tr.chunk));
+        }
+        checks += 1;
+        if let Some(b) = tr.breakdown() {
+            if !b.causal_ok() {
+                return Err(format!(
+                    "segtrace conn {} chunk {}: milestones out of causal order",
+                    tr.conn, tr.chunk
+                ));
+            }
+            if b.queueing() + b.recovery() + b.propagation() + b.processing() != b.total() {
+                return Err(format!(
+                    "segtrace conn {} chunk {}: decomposition is not exact",
+                    tr.conn, tr.chunk
+                ));
+            }
+            checks += 2;
+        }
+    }
+    for g in 0..n_conns as u32 {
+        for c in 0..chunks_per_conn as u32 {
+            if !obs::segtrace::sampled(every, g, c) {
+                continue;
+            }
+            let tr = store
+                .get(g, c)
+                .ok_or_else(|| format!("segtrace conn {g} chunk {c}: sampled but never traced"))?;
+            // A chain at the event cap may have had its tail truncated;
+            // completeness cannot be judged for it.
+            let truncated = tr.events.len() >= obs::segtrace::MAX_TRACE_EVENTS;
+            if tr.breakdown().is_none() && !truncated {
+                return Err(format!(
+                    "segtrace conn {g} chunk {c}: sampled chain incomplete after delivery"
+                ));
+            }
+            checks += 1;
+        }
+    }
+    let (_, _, wire) = store.origin_counts();
+    if wire != 0 {
+        return Err(format!("segtrace: {wire} wire-origin traces in a shared-recorder world"));
+    }
+    Ok(checks + 1)
+}
+
 /// Per-connection previous values for the monotonicity checks.
 #[derive(Debug, Clone, Copy, Default)]
 struct ConnPrev {

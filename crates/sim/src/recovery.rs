@@ -61,6 +61,7 @@ fn recovery_config(faults: FaultPlan, loss_recovery: bool) -> ServerConfig {
         ring_capacity: 16 * 1024,
         max_rounds: 500_000,
         loss_recovery,
+        trace_every: 1,
     }
 }
 

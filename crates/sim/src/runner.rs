@@ -18,7 +18,7 @@ use server::{
 };
 use utcp::SendRing;
 
-use crate::oracle::{check_conservation, Tracker};
+use crate::oracle::{check_conservation, check_segtrace, Tracker};
 use crate::scenario::{Scenario, ScenarioKind};
 use crate::shrink::shrink;
 
@@ -132,7 +132,17 @@ fn server_config(sc: &Scenario) -> ServerConfig {
         ring_capacity: sc.ring_capacity,
         max_rounds: 500_000,
         loss_recovery: true,
+        // Seed-derived sampling stride (1..=3): every scenario traces a
+        // different subset of chunks, and the segtrace oracle demands a
+        // complete causally-ordered chain for each one. Tracing rides
+        // out of band, so the run itself is bit-identical at any stride.
+        trace_every: 1 + (sc.seed % 3) as u32,
     }
+}
+
+/// Chunks each connection's transfer comprises.
+fn chunks_per_conn(sc: &Scenario) -> usize {
+    sc.file_len.div_ceil(sc.chunk)
 }
 
 /// Everything one observed single-threaded run yields.
@@ -189,6 +199,8 @@ fn run_one_path(sc: &Scenario, opts: &RunOptions, path: Path) -> Result<Transfer
     }
     let mut checks = tracker.checks + 2;
     checks += check_conservation(&rec).map_err(|e| format!("{path:?}: obs: {e}"))?;
+    checks += check_segtrace(&rec, h.config().trace_every, sc.n_conns, chunks_per_conn(sc))
+        .map_err(|e| format!("{path:?}: {e}"))?;
     if rec.counter(Counter::Retransmits) != report.retransmits {
         return Err(format!(
             "{path:?}: recorder counted {} retransmits, report says {}",
@@ -281,6 +293,10 @@ fn run_sharded_scenario(sc: &Scenario) -> Result<ScenarioStats, String> {
         checks += 1;
     }
     checks += check_conservation(&rep.merged).map_err(|e| format!("sharded: obs: {e}"))?;
+    // The merged store is a union of per-shard stores over disjoint
+    // global connection slices; the same completeness bar applies.
+    checks += check_segtrace(&rep.merged, cfg.trace_every, sc.n_conns, chunks_per_conn(sc))
+        .map_err(|e| format!("sharded: {e}"))?;
     Ok(ScenarioStats {
         faults: FaultTotals {
             dropped: rep.merged.counter(Counter::FaultDrops),

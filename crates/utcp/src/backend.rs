@@ -118,6 +118,23 @@ pub trait KernelPart {
 
     /// Cumulative fault/garbage accounting for this backend.
     fn counters(&self) -> KernelCounters;
+
+    /// Arm the out-of-band trace context for the **next** `send` call.
+    /// The tag travels *beside* the datagram — a side-table on the
+    /// loop-back, an envelope field on socket backends — never inside
+    /// the TPDU bytes, so wire identity between traced and untraced
+    /// runs is structural. Backends that cannot carry context may
+    /// ignore it (the default): tracing degrades to sender-side spans.
+    fn set_send_ctx(&mut self, ctx: Option<obs::SegTag>) {
+        let _ = ctx;
+    }
+
+    /// Take the trace context that rode beside the datagram returned by
+    /// the **last** `recv_into` call, if any. Consuming: a second call
+    /// returns `None`.
+    fn take_recv_ctx(&mut self) -> Option<obs::SegTag> {
+        None
+    }
 }
 
 impl KernelPart for Loopback {
@@ -158,6 +175,14 @@ impl KernelPart for Loopback {
             queue_peak: self.peak_queued as u64,
             queue_capacity: self.n_slots() as u64,
         }
+    }
+
+    fn set_send_ctx(&mut self, ctx: Option<obs::SegTag>) {
+        Loopback::set_send_ctx(self, ctx);
+    }
+
+    fn take_recv_ctx(&mut self) -> Option<obs::SegTag> {
+        Loopback::take_recv_ctx(self)
     }
 }
 

@@ -32,9 +32,11 @@ use memsim::layout::AddressSpace;
 use memsim::region::{Region, RegionKind};
 use memsim::{CodeRegion, Mem};
 use obs::{
-    Counter, EventKind, FlightEdge, FlightSnap, Layer, NoopObserver, PathLabel, SpanObserver,
-    Stage, Work,
+    Counter, EventKind, FlightEdge, FlightSnap, Layer, NoopObserver, PathLabel, SegEv, SegTag,
+    SpanObserver, Stage, Work, XmitKind,
 };
+
+use std::collections::BTreeMap;
 
 use crate::backend::KernelPart;
 use crate::ip::{Ipv4Header, IP_HEADER_LEN, PROTO_TCP};
@@ -144,6 +146,9 @@ pub struct Delivered {
     pub control_sum: InetChecksum,
     /// True when this is the next expected in-order segment.
     pub in_order: bool,
+    /// Segment-trace context that rode beside the datagram out-of-band
+    /// (`None` in untraced runs and for unsampled chunks).
+    pub ctx: Option<SegTag>,
 }
 
 /// Counters for tests and reports.
@@ -238,8 +243,36 @@ pub struct Connection {
     /// index (shard `conn_base` + slot) so shard-merged flight maps
     /// never collide; standalone connections default to the local port.
     obs_id: u32,
+    /// Segment-trace sampling rate (`obs::segtrace::sampled`); 0 = the
+    /// tracer is off and none of the seg plumbing runs.
+    seg_every: u32,
+    /// Chunk armed by [`Connection::seg_begin`] for the next *fresh*
+    /// send — the sender-side bridge from the application's chunk
+    /// numbering to the wire's sequence numbering.
+    pending_seg: Option<u32>,
+    /// Sender: sequence number → trace identity of the chunk occupying
+    /// that ring extent, so retransmissions (which only know the
+    /// extent) rejoin their chunk's trace. Pruned as ACKs retire
+    /// extents.
+    seg_map: BTreeMap<u32, SegEntry>,
+    /// Receiver-side trace marks queued for the next observed drain —
+    /// deep receive paths (`finish_recv` inside the fused combinator)
+    /// have no observer in scope, so marks buffer here and
+    /// [`Connection::drain_seg_marks`] forwards them.
+    seg_out: Vec<(SegTag, SegEv)>,
     /// Statistics.
     pub stats: ConnStats,
+}
+
+/// Sender-side trace identity of one in-flight ring extent.
+#[derive(Debug, Clone, Copy)]
+struct SegEntry {
+    /// Chunk sequence number (application numbering).
+    chunk: u32,
+    /// Transmissions so far (0 = only the original send).
+    xmit: u16,
+    /// Sampled at enqueue, or promoted by entering loss recovery.
+    traced: bool,
 }
 
 /// One checksum-verified future segment held in the receiver's
@@ -252,6 +285,8 @@ struct OooSeg {
     slot: usize,
     control_sum: InetChecksum,
     stamp: u64,
+    /// Trace context of the held transmission, restored on replay.
+    ctx: Option<SegTag>,
 }
 
 /// TCB field offsets inside the state region.
@@ -314,6 +349,10 @@ impl Connection {
             ooo_seen: Vec::new(),
             ooo_stamp: 0,
             obs_id: cfg.local_port as u32,
+            seg_every: 0,
+            pending_seg: None,
+            seg_map: BTreeMap::new(),
+            seg_out: Vec::new(),
             stats: ConnStats::default(),
         }
     }
@@ -327,6 +366,54 @@ impl Connection {
     /// The id stamped on flight-recorder snapshots.
     pub fn obs_id(&self) -> u32 {
         self.obs_id
+    }
+
+    /// Arm segment tracing at rate `every` (see
+    /// [`obs::segtrace::sampled`]); 0 turns the tracer off. The seg
+    /// plumbing touches only plain host state — never the instrumented
+    /// memory — so traced and untraced runs stay byte-identical on the
+    /// wire and in the memory simulation.
+    pub fn set_seg_sampling(&mut self, every: u32) {
+        self.seg_every = every;
+    }
+
+    /// The armed segment-trace sampling rate (0 = off).
+    pub fn seg_sampling(&self) -> u32 {
+        self.seg_every
+    }
+
+    /// Declare that the next fresh send carries chunk `chunk`. Returns
+    /// the chunk's trace tag when the sampling rule selects it (for the
+    /// caller's pipeline-stage marks); the pending ledger is fed either
+    /// way so the chunk can be promoted later. No-op returning `None`
+    /// while the tracer is off.
+    pub fn seg_begin(&mut self, chunk: u32) -> Option<SegTag> {
+        if self.seg_every == 0 {
+            return None;
+        }
+        self.pending_seg = Some(chunk);
+        obs::segtrace::sampled(self.seg_every, self.obs_id, chunk)
+            .then_some(SegTag { conn: self.obs_id, chunk, xmit: 0 })
+    }
+
+    /// Queue a receiver-side trace mark for the next
+    /// [`Connection::drain_seg_marks`]. Public so the server pipeline
+    /// can mark fused-stage completion from inside combinator closures
+    /// that have no observer in scope.
+    pub fn seg_mark(&mut self, tag: SegTag, ev: SegEv) {
+        self.seg_out.push((tag, ev));
+    }
+
+    /// Forward queued receiver-side trace marks to `obs`. Under a
+    /// disabled observer the marks are kept for a later observed drain
+    /// (the fused receive path finishes under a `NoopObserver` and the
+    /// pipeline drains afterwards).
+    pub fn drain_seg_marks<O: SpanObserver>(&mut self, obs: &mut O) {
+        if O::ENABLED {
+            for (tag, ev) in self.seg_out.drain(..) {
+                obs.seg(tag, ev);
+            }
+        }
     }
 
     /// The sender-state snapshot the flight recorder retains at
@@ -570,7 +657,7 @@ impl Connection {
         if O::ENABLED {
             obs.span(path, Stage::Integrated, Layer::Tcp, Work::delta(before, m.work_counters()));
         }
-        self.output_obs(m, lb, extent, None, obs, path);
+        self.output_obs(m, lb, extent, None, obs, path, XmitKind::Fresh);
         Ok(())
     }
 
@@ -610,7 +697,7 @@ impl Connection {
         obs: &mut O,
         path: PathLabel,
     ) {
-        self.output_obs(m, lb, extent, Some(payload_sum), obs, path);
+        self.output_obs(m, lb, extent, Some(payload_sum), obs, path, XmitKind::Fresh);
     }
 
     /// `tcp_output`: complete the header (checksumming the ring data only
@@ -623,14 +710,16 @@ impl Connection {
         extent: Extent,
         payload_sum: Option<InetChecksum>,
     ) {
-        self.output_obs(m, lb, extent, payload_sum, &mut NoopObserver, PathLabel::NonIlp);
+        self.output_obs(m, lb, extent, payload_sum, &mut NoopObserver, PathLabel::NonIlp, XmitKind::Fresh);
     }
 
     /// `tcp_output` with span attribution: the separate checksum read
     /// pass (non-ILP only) reports as integrated-stage checksum work;
     /// header build, TCB update and the kernel hand-off report as
     /// final-stage TCP work, with the kernel part's system copy landing
-    /// in the kernel layer via the system counter.
+    /// in the kernel layer via the system counter. `kind` names how the
+    /// transmission left the sender for the segment tracer.
+    #[allow(clippy::too_many_arguments)]
     fn output_obs<M: Mem, O: SpanObserver>(
         &mut self,
         m: &mut M,
@@ -639,6 +728,7 @@ impl Connection {
         payload_sum: Option<InetChecksum>,
         obs: &mut O,
         path: PathLabel,
+        kind: XmitKind,
     ) {
         let data_addr = self.ring.addr(extent.off);
         let payload_sum = payload_sum.unwrap_or_else(|| {
@@ -683,6 +773,34 @@ impl Connection {
         self.stats.data_sent += 1;
         if is_retransmit {
             self.stats.retransmits += 1;
+        }
+        // Segment tracer: resolve this transmission's trace identity
+        // (plain host state only — no `Mem` traffic) and arm the
+        // out-of-band context so the tag rides beside the datagram.
+        if self.seg_every != 0 {
+            let identity = if is_retransmit {
+                self.seg_map.get_mut(&extent.seq).map(|ent| {
+                    ent.xmit += 1;
+                    // Entering loss recovery promotes the chunk: every
+                    // retransmitted chunk is traced from here on.
+                    ent.traced = true;
+                    (SegTag { conn: self.obs_id, chunk: ent.chunk, xmit: ent.xmit }, true)
+                })
+            } else {
+                self.pending_seg.take().map(|chunk| {
+                    let traced = obs::segtrace::sampled(self.seg_every, self.obs_id, chunk);
+                    self.seg_map.insert(extent.seq, SegEntry { chunk, xmit: 0, traced });
+                    (SegTag { conn: self.obs_id, chunk, xmit: 0 }, traced)
+                })
+            };
+            if let Some((tag, traced)) = identity {
+                if O::ENABLED {
+                    obs.seg(tag, SegEv::Send { kind, traced });
+                }
+                if traced {
+                    lb.set_send_ctx(Some(tag));
+                }
+            }
         }
         lb.send(
             m,
@@ -743,7 +861,7 @@ impl Connection {
                     obs.event(EventKind::RtoBackoff, self.obs_id, self.rto as u64);
                     obs.flight(self.obs_id, self.flight_snap(FlightEdge::Rto));
                 }
-                self.output_obs(m, lb, oldest, None, obs, path);
+                self.output_obs(m, lb, oldest, None, obs, path, XmitKind::Rto);
             }
         }
     }
@@ -786,6 +904,7 @@ impl Connection {
             if pre != (self.snd_una, self.rcv_nxt, self.peer_window) {
                 obs.flight(self.obs_id, self.flight_snap(FlightEdge::Recv));
             }
+            self.drain_seg_marks(obs);
         }
         out
     }
@@ -806,6 +925,7 @@ impl Connection {
         }
         loop {
             let datagram = lb.recv_into(m, self.endpoint)?;
+            let ctx = lb.take_recv_ctx();
             // Kernel: IP validation + demultiplexing, then the system
             // copy into the receive staging buffer (step 1, Fig. 5).
             m.phase_push(memsim::mem::PhaseTag::System);
@@ -867,12 +987,16 @@ impl Connection {
                 hdr.add_options_to_checksum(m, opt_len, &mut control_sum);
             }
 
+            if let Some(tag) = ctx {
+                self.seg_out.push((tag, SegEv::KernelRecv));
+            }
             return Some(Delivered {
                 payload_addr: self.recv.base + IP_HEADER_LEN + hdr_len,
                 payload_len,
                 seq,
                 control_sum,
                 in_order: seq == self.rcv_nxt,
+                ctx,
             });
         }
     }
@@ -892,20 +1016,21 @@ impl Connection {
             seq: held.seq,
             control_sum: held.control_sum,
             in_order: true,
+            ctx: held.ctx,
         })
     }
 
     /// Hold a checksum-verified future segment for reassembly. Bounded
     /// at [`OOO_SLOTS`]; duplicates, old segments and out-of-window
     /// segments are simply not stored (the duplicate ACK still goes out
-    /// either way).
-    fn store_out_of_order<M: Mem>(&mut self, m: &mut M, d: &Delivered) {
+    /// either way). Returns whether the segment entered the hold.
+    fn store_out_of_order<M: Mem>(&mut self, m: &mut M, d: &Delivered) -> bool {
         let dist = d.seq.wrapping_sub(self.rcv_nxt);
         if d.payload_len == 0 || dist == 0 || dist > u32::from(self.cfg.window) {
-            return;
+            return false;
         }
         if self.ooo_seen.iter().any(|s| s.seq == d.seq) || self.ooo_seen.len() >= OOO_SLOTS {
-            return;
+            return false;
         }
         let mut used = [false; OOO_SLOTS];
         for s in &self.ooo_seen {
@@ -920,7 +1045,9 @@ impl Connection {
             slot,
             control_sum: d.control_sum,
             stamp: self.ooo_stamp,
+            ctx: d.ctx,
         });
+        true
     }
 
     /// Drop held segments the cumulative edge has passed.
@@ -995,6 +1122,7 @@ impl Connection {
         let out = self.finish_recv_inner(m, lb, d, payload_sum);
         if O::ENABLED {
             obs.span(path, Stage::Final, Layer::Tcp, Work::delta(before, m.work_counters()));
+            self.drain_seg_marks(obs);
         }
         out
     }
@@ -1015,8 +1143,11 @@ impl Connection {
         }
         if !d.in_order {
             self.stats.rejected += 1;
-            if self.cfg.loss_recovery {
-                self.store_out_of_order(m, d);
+            let stored = self.cfg.loss_recovery && self.store_out_of_order(m, d);
+            if stored {
+                if let Some(tag) = d.ctx {
+                    self.seg_out.push((tag, SegEv::Hold));
+                }
             }
             self.send_ack(m, lb); // duplicate ACK (carries SACK if holding)
             return Err(Reject::Malformed("out-of-order segment"));
@@ -1026,8 +1157,14 @@ impl Connection {
         if self.cfg.loss_recovery {
             self.prune_ooo();
         }
+        if let Some(tag) = d.ctx {
+            self.seg_out.push((tag, SegEv::Accept));
+        }
         self.touch_state(m);
         self.send_ack(m, lb);
+        if let Some(tag) = d.ctx {
+            self.seg_out.push((tag, SegEv::AckGen));
+        }
         Ok(())
     }
 
@@ -1122,6 +1259,11 @@ impl Connection {
             self.high_rxt = ack;
         }
         self.ring.ack(ack);
+        if !self.seg_map.is_empty() {
+            // Drop trace identities of fully-acked extents (same
+            // wrapping order as the ring's own retirement).
+            self.seg_map.retain(|&seq, _| (seq.wrapping_sub(ack) as i32) >= 0);
+        }
         self.last_progress = self.ticks;
         self.stats.acks_received += 1;
         // RTT sample (Karn-filtered) → Jacobson estimator → RTO.
@@ -1236,7 +1378,7 @@ impl Connection {
             obs.count(Counter::FastRetransmits, 1);
             obs.event(EventKind::FastRetransmit, self.obs_id, u64::from(extent.seq));
         }
-        self.output_obs(m, lb, extent, None, obs, path);
+        self.output_obs(m, lb, extent, None, obs, path, XmitKind::Fast);
     }
 
     /// The first ring extent at or past `high_rxt`, below the recovery

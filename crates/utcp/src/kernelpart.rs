@@ -197,6 +197,8 @@ struct Delayed {
     due: u64,
     dst_port: u16,
     datagram: Datagram,
+    /// Trace context riding beside the datagram (see `Loopback::send_ctx`).
+    tag: Option<obs::SegTag>,
 }
 
 /// Per-endpoint state inside the kernel part.
@@ -204,6 +206,11 @@ struct Delayed {
 struct Endpoint {
     port: u16,
     queue: VecDeque<Datagram>,
+    /// Trace contexts in lockstep with `queue`: `tags[i]` rode beside
+    /// `queue[i]`. A side-table rather than a `Datagram` field so the
+    /// wire bytes (and the `Datagram` handle other backends produce)
+    /// stay identical whether or not tracing is on.
+    tags: VecDeque<Option<obs::SegTag>>,
 }
 
 /// The in-process loop-back network + kernel buffers.
@@ -262,6 +269,12 @@ pub struct Loopback {
     pub peak_queued: usize,
     /// Datagrams handed out by [`Loopback::recv`].
     pub received: u64,
+    /// Trace context armed for the next [`Loopback::send`] (out-of-band
+    /// segment-trace propagation; see `crate::backend::KernelPart`).
+    send_ctx: Option<obs::SegTag>,
+    /// Trace context that rode beside the last datagram [`Loopback::recv`]
+    /// handed out, awaiting [`Loopback::take_recv_ctx`].
+    last_ctx: Option<obs::SegTag>,
     /// Port → endpoint index. With two endpoints (the paper's loop-back
     /// pair) a linear scan is fine; a server multiplexing hundreds of
     /// connections demultiplexes thousands of datagrams per transfer,
@@ -322,6 +335,8 @@ impl Loopback {
             queued: 0,
             peak_queued: 0,
             received: 0,
+            send_ctx: None,
+            last_ctx: None,
             by_port: HashMap::new(),
         }
     }
@@ -334,7 +349,7 @@ impl Loopback {
     /// Register a listening port; returns the endpoint handle.
     pub fn register(&mut self, port: u16) -> EndpointId {
         assert!(!self.by_port.contains_key(&port), "port {port} already registered");
-        self.endpoints.push(Endpoint { port, queue: VecDeque::new() });
+        self.endpoints.push(Endpoint { port, queue: VecDeque::new(), tags: VecDeque::new() });
         let id = self.endpoints.len() - 1;
         self.by_port.insert(port, id);
         EndpointId(id)
@@ -358,6 +373,20 @@ impl Loopback {
         self.sent
     }
 
+    /// Arm the out-of-band trace context for the next [`Loopback::send`].
+    /// The tag rides in the side-table beside the datagram — never in
+    /// the wire bytes — and is consumed by that send whether the
+    /// datagram is delivered, dropped, delayed or duplicated.
+    pub fn set_send_ctx(&mut self, ctx: Option<obs::SegTag>) {
+        self.send_ctx = ctx;
+    }
+
+    /// Take the trace context that rode beside the last datagram
+    /// [`Loopback::recv`] handed out (consuming).
+    pub fn take_recv_ctx(&mut self) -> Option<obs::SegTag> {
+        self.last_ctx.take()
+    }
+
     /// Send a segment: the **send-side system copy** of header + payload
     /// from user memory into a kernel slot, IP encapsulation ("pass the
     /// messages received from the user-level TCP to IP"), then
@@ -374,6 +403,7 @@ impl Loopback {
         payload_addr: usize,
         payload_len: usize,
     ) {
+        let ctx = self.send_ctx.take();
         let tcp_total = crate::wire::TCP_HEADER_LEN + payload_len;
         let total = IP_HEADER_LEN + tcp_total;
         assert!(total <= self.slot_size, "segment exceeds kernel slot / link MTU");
@@ -433,7 +463,12 @@ impl Loopback {
         let datagram = Datagram { addr: slot, len: total };
         if decision.delay_by > 0 {
             self.delayed_count += 1;
-            self.delayed.push(Delayed { due: self.sent + decision.delay_by, dst_port, datagram });
+            self.delayed.push(Delayed {
+                due: self.sent + decision.delay_by,
+                dst_port,
+                datagram,
+                tag: ctx,
+            });
             return;
         }
         self.deliver(
@@ -441,20 +476,33 @@ impl Loopback {
             dst_port,
             decision.dup || every(fault.dup_every),
             decision.reorder || every(fault.reorder_every),
+            ctx,
         );
     }
 
     /// Enqueue a datagram at its destination port, applying the
-    /// duplicate/reorder verdicts.
-    fn deliver(&mut self, datagram: Datagram, dst_port: u16, dup: bool, reorder: bool) {
+    /// duplicate/reorder verdicts. `tag` is the trace context riding
+    /// beside the datagram; it stays in lockstep with the queue through
+    /// duplication (both copies carry it) and reordering (the swap
+    /// swaps both queues).
+    fn deliver(
+        &mut self,
+        datagram: Datagram,
+        dst_port: u16,
+        dup: bool,
+        reorder: bool,
+        tag: Option<obs::SegTag>,
+    ) {
         let Some(endpoint) = self.by_port.get(&dst_port).map(|&i| &mut self.endpoints[i]) else {
             self.unroutable += 1;
             return;
         };
         endpoint.queue.push_back(datagram);
+        endpoint.tags.push_back(tag);
         self.queued += 1;
         if dup {
             endpoint.queue.push_back(datagram);
+            endpoint.tags.push_back(tag);
             self.queued += 1;
             self.duplicated += 1;
         }
@@ -462,6 +510,7 @@ impl Loopback {
             let qlen = endpoint.queue.len();
             if qlen >= 2 {
                 endpoint.queue.swap(qlen - 1, qlen - 2);
+                endpoint.tags.swap(qlen - 1, qlen - 2);
                 self.reordered += 1;
             }
         }
@@ -484,7 +533,7 @@ impl Loopback {
         while i < self.delayed.len() {
             if self.delayed[i].due <= now {
                 let d = self.delayed.swap_remove(i);
-                self.deliver(d.datagram, d.dst_port, false, false);
+                self.deliver(d.datagram, d.dst_port, false, false, d.tag);
             } else {
                 i += 1;
             }
@@ -498,8 +547,10 @@ impl Loopback {
 
     /// Dequeue the next datagram for an endpoint, if any.
     pub fn recv(&mut self, id: EndpointId) -> Option<Datagram> {
-        let d = self.endpoints[id.0].queue.pop_front();
+        let ep = &mut self.endpoints[id.0];
+        let d = ep.queue.pop_front();
         if d.is_some() {
+            self.last_ctx = ep.tags.pop_front().flatten();
             self.queued -= 1;
             self.received += 1;
         }

@@ -6,9 +6,11 @@
 //! produce their verdicts, printed as a table. Then one incident (a
 //! total network blackout mid-transfer) gets the full treatment: the
 //! per-connection flight-recorder dump, sparklines of the evidence
-//! series, and the complete diagnostic bundle JSON
-//! (`DOCTOR_bundle.json`) plus a Chrome `trace_event` export of the
-//! trace ring (`DOCTOR_trace.json`, load it in `chrome://tracing` or
+//! series, a causal segment-trace latency decomposition (every chunk
+//! traced through the blackout), and the complete diagnostic bundle
+//! JSON (`target/DOCTOR_bundle.json`) plus a Chrome `trace_event`
+//! export of the trace ring *and* the segment span trees
+//! (`target/DOCTOR_trace.json`, load it in `chrome://tracing` or
 //! Perfetto). A clean control world runs first to show the detectors
 //! stay quiet on healthy traffic.
 //!
@@ -17,9 +19,7 @@
 //! ```
 
 use ilp_repro::memsim::{AddressSpace, NativeMem};
-use ilp_repro::obs::{
-    chrome_trace, sparkline, Counter, HealthConfig, Recorder, SeriesConfig, Verdict,
-};
+use ilp_repro::obs::{sparkline, Counter, HealthConfig, Recorder, SeriesConfig, Verdict};
 use ilp_repro::server::{Path, RoundRobin, ScaleHarness, ServerConfig, WorldInit};
 use ilp_repro::utcp::FaultPlan;
 use sim::health::{run_clean, run_trigger, Trigger};
@@ -52,7 +52,15 @@ fn print_verdicts(verdicts: &[Verdict]) {
 /// recorder (the sim oracle only returns the verdicts): clean warm-up,
 /// then every datagram vanishes while two transfers are mid-flight.
 fn blackout_incident() -> (Vec<Verdict>, ilp_repro::obs::Json, Recorder) {
-    let cfg = ServerConfig { n_conns: 2, file_len: 64 * 1024, chunk: 512, ..Default::default() };
+    // `trace_every: 1`: every chunk's causal span chain is captured, so
+    // the incident report can decompose where delivery time went.
+    let cfg = ServerConfig {
+        n_conns: 2,
+        file_len: 64 * 1024,
+        chunk: 512,
+        trace_every: 1,
+        ..Default::default()
+    };
     let mut space = AddressSpace::new();
     let mut h = ScaleHarness::simplified(&mut space, cfg);
     let mut arena = space.native_arena();
@@ -121,13 +129,39 @@ fn main() {
         println!("    {:<17} {}", c.name(), sparkline(&series.counter_rates(c)));
     }
 
-    let out = std::path::Path::new("DOCTOR_bundle.json");
+    // Critical-path decomposition: where did each delivered chunk's
+    // time go? In a blackout world the answer is "recovery", and the
+    // component totals say exactly how much.
+    let store = rec.segtrace();
+    let t = store.totals();
+    let pct = |c: u64| if t.total == 0 { 0.0 } else { 100.0 * c as f64 / t.total as f64 };
+    println!("\n  critical path, {} traced chunks (enqueue → accept):", t.completed);
+    println!("    queueing     {:>6} ticks ({:>5.1}%)", t.queueing, pct(t.queueing));
+    println!("    recovery     {:>6} ticks ({:>5.1}%)", t.recovery, pct(t.recovery));
+    println!("    propagation  {:>6} ticks ({:>5.1}%)", t.propagation, pct(t.propagation));
+    println!("    processing   {:>6} ticks ({:>5.1}%)", t.processing, pct(t.processing));
+    println!("    total        {:>6} ticks", t.total);
+
+    println!("\n  health exposition excerpt (verdict gauges):");
+    let expo = ilp_repro::obs::prometheus_text_with_health(&rec, &verdicts);
+    for line in expo.lines().filter(|l| l.contains("ilp_health_verdicts{")) {
+        println!("    {line}");
+    }
+
+    // Artifacts land under target/ with the rest of the build output,
+    // not in the repo root.
+    std::fs::create_dir_all("target").ok();
+    let out = std::path::Path::new("target/DOCTOR_bundle.json");
     match ilp_repro::obs::write_report(out, &bundle) {
         Ok(()) => println!("\n  wrote diagnostic bundle: {}", out.display()),
         Err(e) => eprintln!("\n  failed to write {}: {e}", out.display()),
     }
-    let trace = chrome_trace(rec.trace(), "blackout");
-    let tout = std::path::Path::new("DOCTOR_trace.json");
+    // One merged timeline: the instant-event ring plus the segment
+    // span trees (root chunk spans, wire hops, hold spans).
+    let mut events = ilp_repro::obs::chrome_trace_events(rec.trace(), "blackout", 0);
+    events.extend(store.chrome_spans(0));
+    let trace = ilp_repro::obs::chrome_trace_doc(events);
+    let tout = std::path::Path::new("target/DOCTOR_trace.json");
     match ilp_repro::obs::write_report(tout, &trace) {
         Ok(()) => println!("  wrote chrome://tracing timeline: {}", tout.display()),
         Err(e) => eprintln!("  failed to write {}: {e}", tout.display()),

@@ -35,6 +35,9 @@ fn run(path: Path) -> (Recorder, KernelCounters) {
         file_len: FILE_LEN,
         chunk: CHUNK,
         faults: FaultPlan { drop_every: 11, corrupt_every: 13, ..Default::default() },
+        // Trace every chunk's causal span chain: context rides beside
+        // the datagrams, so the run is bit-identical either way.
+        trace_every: 1,
         ..Default::default()
     };
     let mut space = AddressSpace::new();
@@ -113,6 +116,25 @@ fn main() {
             lat.p99(),
             lat.max().unwrap_or(0),
             lat.count(),
+        );
+
+        // The segment tracer's critical-path decomposition: the same
+        // latency, but split into *why* — and exactly (the four
+        // components telescope to the enqueue → accept total).
+        let t = rec.segtrace().totals();
+        let pct = |c: u64| if t.total == 0 { 0.0 } else { 100.0 * c as f64 / t.total as f64 };
+        println!(
+            "  critical path over {} traced chunks: queueing {} ({:.1}%), recovery {} ({:.1}%), \
+             propagation {} ({:.1}%), processing {} ({:.1}%)",
+            t.completed,
+            t.queueing,
+            pct(t.queueing),
+            t.recovery,
+            pct(t.recovery),
+            t.propagation,
+            pct(t.propagation),
+            t.processing,
+            pct(t.processing),
         );
 
         // The windowed series as sparklines: each glyph is one retained

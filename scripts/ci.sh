@@ -97,7 +97,19 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_loss.json 
     baseline_1pct.rto_only_rounds:num baseline_1pct.recovery_rounds:num \
     baseline_1pct.recovery_beats_rto_only:bool
 
-echo "== doctor: render the diagnostic bundle end-to-end =="
+echo "== segment tracing: critical-path decomposition, determinism, zero perturbation =="
+cargo run -q --release --offline -p bench --bin exp_segtrace
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_trace.json \
+    experiment:str conns:num file_len:num trace_every:num \
+    ilp.traces:num ilp.origin_sampled:num ilp.origin_promoted:num ilp.origin_wire:num \
+    ilp.no_orphans:bool ilp.decomposition_exact:bool ilp.latency_matches_histogram:bool \
+    ilp.components.completed:num ilp.components.queueing:num ilp.components.recovery:num \
+    ilp.components.propagation:num ilp.components.processing:num ilp.components.total:num \
+    non_ilp.decomposition_exact:bool non_ilp.components.total:num \
+    sampled.origin_sampled:num sampled.origin_promoted:num sampled.decomposition_exact:bool \
+    deterministic:bool unperturbed:bool
+
+echo "== doctor: render the diagnostic bundle end-to-end (artifacts under target/) =="
 cargo run -q --release --offline --example doctor > /dev/null
 
 echo "== perf gate: fresh reports vs committed baselines (all metrics virtual-clock-deterministic) =="
