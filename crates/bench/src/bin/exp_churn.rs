@@ -1,0 +1,141 @@
+//! E26 — connection churn: connect → transfer → close → reopen waves.
+//!
+//! The scale experiments measure steady-state transfer; this one
+//! measures the *lifecycle* around it. A fixed churn workload drives
+//! the full server harness through several waves of accept + transfer +
+//! FIN/ACK teardown under seeded ~0.6 % loss, drains every connection
+//! through TIME_WAIT to `Closed` between waves, and re-binds the
+//! released data ports for the next wave — with the per-tick oracle set
+//! (including the RFC 793 legal-transition matrix and the post-FIN
+//! freeze) live throughout. Both the ILP and the non-ILP path run the
+//! identical world and must agree on every number.
+//!
+//! The report also carries the lifecycle sweep (the six pinned teardown
+//! worlds plus 200 seeded teardown-under-fault worlds), so CI gates the
+//! sweep's pass count and oracle volume bit-exact alongside the churn
+//! quantities: closes completed, cumulative TIME_WAIT residency, ports
+//! recycled, and the settle rounds spent reaching full quiescence.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin exp_churn   # writes BENCH_churn.json
+//! ```
+
+use obs::Json;
+use server::Path;
+use sim::{run_churn, sweep_teardown, ChurnOutcome, ChurnSpec};
+use std::process::ExitCode;
+use utcp::FaultProbs;
+
+/// The pinned churn workload: four connections, four waves, a 4 KiB
+/// file per connection per wave, ~0.6 % seeded drop. Big enough that
+/// the dice actually drop datagrams (the gated retransmit count is
+/// non-zero) and TIME_WAIT residency accumulates across reopens;
+/// small enough to stay in the CI budget.
+fn churn_spec() -> ChurnSpec {
+    ChurnSpec {
+        seed: 0xC4A2,
+        waves: 4,
+        n_conns: 4,
+        file_len: 4 * 1024,
+        chunk: 512,
+        probs: FaultProbs { drop: 400, ..Default::default() },
+    }
+}
+
+/// The lifecycle sweep block shared with `tests/dst.rs` and CI.
+const TEARDOWN_BASE_SEED: u64 = 0x7EAF_0000;
+const TEARDOWN_SEEDS: usize = 200;
+
+fn outcome_json(out: &ChurnOutcome) -> Json {
+    Json::obj()
+        .set("closes_completed", Json::U64(out.closes_completed))
+        .set("time_wait_ticks", Json::U64(out.time_wait_ticks))
+        .set("ports_recycled", Json::U64(out.ports_recycled))
+        .set("rounds_to_quiescence", Json::U64(out.rounds_to_quiescence))
+        .set("rounds_total", Json::U64(out.rounds_total))
+        .set("payload_bytes", Json::U64(out.payload_bytes))
+        .set("retransmits", Json::U64(out.retransmits))
+        .set("oracle_checks", Json::U64(out.oracle_checks))
+        .set(
+            "closes_per_kround",
+            Json::F64(
+                1000.0 * out.closes_completed as f64
+                    / (out.rounds_total + out.rounds_to_quiescence) as f64,
+            ),
+        )
+}
+
+fn main() -> ExitCode {
+    let mut failed = false;
+    let spec = churn_spec();
+    let mut paths = Json::obj();
+    let mut outcomes: Vec<ChurnOutcome> = Vec::new();
+    for (name, path) in [("ilp", Path::Ilp), ("non_ilp", Path::NonIlp)] {
+        match run_churn(&spec, path) {
+            Ok(out) => {
+                println!(
+                    "exp_churn ({name}): {} closes over {} waves, {} TIME_WAIT ticks, \
+                     {} ports recycled, {} + {} rounds (transfer + drain), {} retransmits",
+                    out.closes_completed,
+                    spec.waves,
+                    out.time_wait_ticks,
+                    out.ports_recycled,
+                    out.rounds_total,
+                    out.rounds_to_quiescence,
+                    out.retransmits
+                );
+                paths = paths.set(name, outcome_json(&out));
+                outcomes.push(out);
+            }
+            Err(e) => {
+                eprintln!("exp_churn ({name}) FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    let agree = outcomes.len() == 2 && outcomes[0] == outcomes[1];
+    if !agree {
+        eprintln!("exp_churn: ILP and non-ILP churn diverge: {outcomes:?}");
+        failed = true;
+    }
+
+    // The lifecycle sweep: every pinned teardown world and 200 seeded
+    // ones must hold every oracle; the counts gate bit-exact.
+    let sweep = sweep_teardown(TEARDOWN_BASE_SEED, TEARDOWN_SEEDS, false);
+    let sweep_json = Json::obj()
+        .set("base_seed", Json::U64(TEARDOWN_BASE_SEED))
+        .set("seeds", Json::U64(TEARDOWN_SEEDS as u64))
+        .set("passed", Json::U64(sweep.passed as u64))
+        .set("oracle_checks", Json::U64(sweep.oracle_checks))
+        .set("all_green", Json::Bool(sweep.failure.is_none()));
+    match &sweep.failure {
+        None => println!(
+            "exp_churn: teardown sweep all green ({} worlds, {} oracle checks)",
+            sweep.passed, sweep.oracle_checks
+        ),
+        Some((shrunk, message, test_case)) => {
+            eprintln!("exp_churn: teardown sweep FAILED: {message}\nspec: {shrunk:?}\n{test_case}");
+            failed = true;
+        }
+    }
+
+    let report = Json::obj()
+        .set("experiment", Json::Str("churn".into()))
+        .set("seed", Json::U64(spec.seed))
+        .set("waves", Json::U64(spec.waves as u64))
+        .set("conns", Json::U64(spec.n_conns as u64))
+        .set("file_len", Json::U64(spec.file_len as u64))
+        .set("drop_prob", Json::U64(u64::from(spec.probs.drop)))
+        .set("paths", paths)
+        .set("paths_agree", Json::Bool(agree))
+        .set("teardown_sweep", sweep_json);
+    if let Err(e) = obs::write_report(std::path::Path::new("BENCH_churn.json"), &report) {
+        eprintln!("exp_churn: cannot write BENCH_churn.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("exp_churn: wrote BENCH_churn.json");
+    ExitCode::SUCCESS
+}

@@ -270,6 +270,39 @@ pub fn manifest() -> Vec<FileManifest> {
             ],
         },
         FileManifest {
+            file: "BENCH_churn.json",
+            checks: vec![
+                // Connection churn is virtual-clock output on a fixed
+                // seed: closes completed, cumulative TIME_WAIT
+                // residency, ports recycled and the drain rounds all
+                // gate bit-exact, as do the lifecycle sweep's pass and
+                // oracle counts. A teardown behaviour change anywhere —
+                // one extra FIN retransmission, one tick more of
+                // TIME_WAIT — moves these.
+                e("seed"),
+                e("waves"),
+                e("conns"),
+                e("file_len"),
+                e("paths.ilp.closes_completed"),
+                e("paths.ilp.time_wait_ticks"),
+                e("paths.ilp.ports_recycled"),
+                e("paths.ilp.rounds_to_quiescence"),
+                e("paths.ilp.rounds_total"),
+                e("paths.ilp.payload_bytes"),
+                e("paths.ilp.retransmits"),
+                e("paths.ilp.oracle_checks"),
+                e("paths.non_ilp.rounds_total"),
+                e("paths.non_ilp.time_wait_ticks"),
+                e("paths_agree"),
+                e("teardown_sweep.base_seed"),
+                e("teardown_sweep.seeds"),
+                e("teardown_sweep.passed"),
+                e("teardown_sweep.oracle_checks"),
+                e("teardown_sweep.all_green"),
+                t("paths.ilp.closes_per_kround"),
+            ],
+        },
+        FileManifest {
             file: "BENCH_wire.json",
             checks: vec![
                 // Real-socket wall-clock numbers: machine-dependent by

@@ -221,6 +221,13 @@ impl KernelPart for TunBackend {
         EndpointId::from_index(id)
     }
 
+    fn unregister(&mut self, port: u16) {
+        // Same release discipline as the loop-back and UDP backends:
+        // old handles keep draining, new arrivals are unroutable until
+        // the port is registered again.
+        self.by_port.remove(&port);
+    }
+
     fn send<M: Mem>(
         &mut self,
         m: &mut M,

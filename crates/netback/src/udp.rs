@@ -235,6 +235,14 @@ impl KernelPart for UdpBackend {
         EndpointId::from_index(id)
     }
 
+    fn unregister(&mut self, port: u16) {
+        // Port release mirrors the loop-back: the endpoint slot (and
+        // anything still queued on it) survives for old handles, the
+        // demultiplexer forgets the port so a later `register` can
+        // reuse it — the churn primitive over a real socket.
+        self.by_port.remove(&port);
+    }
+
     fn send<M: Mem>(
         &mut self,
         m: &mut M,

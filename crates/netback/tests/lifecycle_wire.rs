@@ -1,0 +1,179 @@
+//! Teardown wire identity: the FIN and RST TPDUs a connection emits
+//! must be byte-identical whether the preceding data segment was
+//! produced by the ILP or the non-ILP send path, and whether the
+//! frames travel the in-process loop-back or real UDP sockets.
+//!
+//! Both control segments stay inside the paper's fixed data-TPDU
+//! header discipline: a FIN is a zero-payload FIN|ACK header occupying
+//! one sequence slot after the data, a RST is a bare header at
+//! `snd_nxt` consuming none. The sender aims at a *capture port*
+//! registered directly on the backend (not at a connection), so the
+//! test reads each datagram exactly as the kernel part framed it:
+//! data segment, then FIN, then (after an abort) RST. The four
+//! captures (2 paths × 2 backends) must agree on every TCP byte.
+
+use memsim::{AddressSpace, NativeMem};
+use netback::UdpBackend;
+use std::time::{Duration, Instant};
+use utcp::ip::IP_HEADER_LEN;
+use utcp::{Connection, KernelPart, Loopback, UtcpConfig, TCP_HEADER_LEN};
+
+const TX_IP: u32 = 0x0A00_0001;
+const CAP_IP: u32 = 0x0A00_0002;
+const TX_PORT: u16 = 1000;
+/// Where the sender aims everything — registered raw, not as a
+/// connection, so each datagram can be captured byte-for-byte.
+const CAP_PORT: u16 = 3000;
+const TX_ISS: u32 = 0x3333_0000;
+const PEER_ISS: u32 = 0x4444_0000;
+const PAYLOAD: usize = 96;
+
+fn tx_cfg() -> UtcpConfig {
+    UtcpConfig {
+        local_port: TX_PORT,
+        peer_port: CAP_PORT,
+        local_ip: TX_IP,
+        peer_ip: CAP_IP,
+        ..Default::default()
+    }
+}
+
+/// Send one payload through the chosen path.
+fn send_one<K: KernelPart>(
+    m: &mut NativeMem,
+    tx: &mut Connection,
+    net: &mut K,
+    src: usize,
+    ilp: bool,
+) {
+    let data: Vec<u8> = (0..PAYLOAD).map(|i| (i * 7 + 3) as u8).collect();
+    m.bytes_mut(src, PAYLOAD).copy_from_slice(&data);
+    if ilp {
+        use ilp_core::ilp_run;
+        use xdr::stream::OpaqueSource;
+        let (extent, mut writer) = tx.begin_ilp_send(PAYLOAD).expect("ring space");
+        let mut source = OpaqueSource::new(src, PAYLOAD);
+        let mut tap = ilp_core::ChecksumTap::new();
+        ilp_run(m, &mut source, &mut tap, &mut writer, 1, None).expect("fused send loop");
+        tx.commit_send(m, net, extent, tap.sum());
+    } else {
+        tx.send_buf(m, net, src, PAYLOAD).expect("send");
+    }
+}
+
+/// Pull the next raw datagram off the capture endpoint.
+fn capture<K: KernelPart>(
+    m: &mut NativeMem,
+    net: &mut K,
+    ep: utcp::EndpointId,
+    deadline: Instant,
+) -> Vec<u8> {
+    loop {
+        if let Some(d) = net.recv_into(m, ep) {
+            return m.bytes(d.addr, d.len).to_vec();
+        }
+        assert!(Instant::now() < deadline, "datagram never arrived at the capture port");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Emit the three frames over an already-wired backend: data, close
+/// (FIN), abort (RST). The capture happens on the receiving side.
+fn emit_teardown<K: KernelPart>(m: &mut NativeMem, tx: &mut Connection, net: &mut K, src: usize, ilp: bool) {
+    send_one(m, tx, net, src, ilp);
+    // Established → FIN immediately: the FIN rides one sequence slot
+    // behind the still-unacknowledged data segment.
+    tx.close(m, net);
+    // FinWait1 → abort: a RST at snd_nxt, consuming no sequence number.
+    tx.abort(m, net);
+}
+
+fn frames_over_loopback(ilp: bool) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut space = AddressSpace::new();
+    let mut lb = Loopback::new(&mut space);
+    let cap = KernelPart::register(&mut lb, CAP_PORT);
+    let mut tx = Connection::new(&mut space, &mut lb, tx_cfg(), TX_ISS);
+    tx.set_peer_iss(PEER_ISS); // born Established, no handshake on the wire
+    let src = space.alloc("src", 2048, 8);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    emit_teardown(&mut m, &mut tx, &mut lb, src.base, ilp);
+    let data = capture(&mut m, &mut lb, cap, deadline);
+    let fin = capture(&mut m, &mut lb, cap, deadline);
+    let rst = capture(&mut m, &mut lb, cap, deadline);
+    (data, fin, rst)
+}
+
+/// One run over real UDP sockets; `None` when the sandbox denies them.
+fn frames_over_udp(ilp: bool) -> Option<(Vec<u8>, Vec<u8>, Vec<u8>)> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut space = AddressSpace::new();
+    let mut tx_net = UdpBackend::bind(&mut space, "127.0.0.1:0").ok()?;
+    let mut cap_net = UdpBackend::bind(&mut space, "127.0.0.1:0").ok()?;
+    tx_net.set_peer(cap_net.local_addr().ok()?).ok()?;
+    cap_net.set_peer(tx_net.local_addr().ok()?).ok()?;
+    let cap = KernelPart::register(&mut cap_net, CAP_PORT);
+    let mut tx = Connection::new(&mut space, &mut tx_net, tx_cfg(), TX_ISS);
+    tx.set_peer_iss(PEER_ISS);
+    let src = space.alloc("src", 2048, 8);
+    let mut arena = space.native_arena();
+    let mut m = NativeMem::new(&mut arena);
+    emit_teardown(&mut m, &mut tx, &mut tx_net, src.base, ilp);
+    let data = capture(&mut m, &mut cap_net, cap, deadline);
+    let fin = capture(&mut m, &mut cap_net, cap, deadline);
+    let rst = capture(&mut m, &mut cap_net, cap, deadline);
+    Some((data, fin, rst))
+}
+
+/// Assert the frame is a bare fixed-header control TPDU with the given
+/// flags and sequence number.
+fn check_ctl_frame(frame: &[u8], flags: u8, seq: u32, what: &str) {
+    assert_eq!(frame.len(), IP_HEADER_LEN + TCP_HEADER_LEN, "{what}: bare fixed header");
+    let tcp = &frame[IP_HEADER_LEN..];
+    assert_eq!((tcp[12] >> 4) as usize, 5, "{what}: 20-byte header, no options");
+    assert_eq!(tcp[13], flags, "{what}: flags byte");
+    let got_seq = u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]);
+    assert_eq!(got_seq, seq, "{what}: sequence number");
+}
+
+#[test]
+fn fin_and_rst_bytes_are_identical_across_paths_and_backends() {
+    let (lb_data_n, lb_fin_n, lb_rst_n) = frames_over_loopback(false);
+    let (lb_data_i, lb_fin_i, lb_rst_i) = frames_over_loopback(true);
+    // The FIN occupies the sequence slot right after the payload; the
+    // RST sits one past the FIN (the FIN consumed a slot, RSTs do not).
+    let fin_seq = TX_ISS.wrapping_add(PAYLOAD as u32);
+    let rst_seq = fin_seq.wrapping_add(1);
+    check_ctl_frame(&lb_fin_n, 0x11, fin_seq, "loop-back FIN");
+    check_ctl_frame(&lb_rst_n, 0x04, rst_seq, "loop-back RST");
+    assert_eq!(lb_data_n, lb_data_i, "ILP vs non-ILP data segment over loop-back");
+    assert_eq!(lb_fin_n, lb_fin_i, "ILP vs non-ILP FIN over loop-back");
+    assert_eq!(lb_rst_n, lb_rst_i, "ILP vs non-ILP RST over loop-back");
+
+    let (Some((udp_data_n, udp_fin_n, udp_rst_n)), Some((_, udp_fin_i, udp_rst_i))) =
+        (frames_over_udp(false), frames_over_udp(true))
+    else {
+        eprintln!("skipping UDP leg: sandbox denies sockets");
+        return;
+    };
+    check_ctl_frame(&udp_fin_n, 0x11, fin_seq, "UDP FIN");
+    check_ctl_frame(&udp_rst_n, 0x04, rst_seq, "UDP RST");
+    assert_eq!(udp_fin_n, udp_fin_i, "ILP vs non-ILP FIN over UDP");
+    assert_eq!(udp_rst_n, udp_rst_i, "ILP vs non-ILP RST over UDP");
+    assert_eq!(
+        &lb_fin_n[IP_HEADER_LEN..],
+        &udp_fin_n[IP_HEADER_LEN..],
+        "loop-back and UDP must frame the identical FIN segment"
+    );
+    assert_eq!(
+        &lb_rst_n[IP_HEADER_LEN..],
+        &udp_rst_n[IP_HEADER_LEN..],
+        "loop-back and UDP must frame the identical RST segment"
+    );
+    assert_eq!(
+        &lb_data_n[IP_HEADER_LEN..],
+        &udp_data_n[IP_HEADER_LEN..],
+        "loop-back and UDP must frame the identical data segment"
+    );
+}

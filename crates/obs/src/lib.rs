@@ -70,7 +70,7 @@ pub use json::Json;
 pub use recorder::Recorder;
 pub use segtrace::{Breakdown, ComponentTotals, Origin, SegEv, SegStore, SegTag, SegTrace, XmitKind};
 pub use span::{
-    Counter, EventKind, FlightEdge, FlightSnap, Layer, Metric, NoopObserver, PathLabel,
+    ConnState, Counter, EventKind, FlightEdge, FlightSnap, Layer, Metric, NoopObserver, PathLabel,
     SpanObserver, Stage, Work,
 };
 pub use timeseries::{sparkline, SeriesConfig, SeriesRecorder};

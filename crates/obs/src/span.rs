@@ -344,6 +344,75 @@ impl EventKind {
     }
 }
 
+/// Connection lifecycle states as the observability layer names them —
+/// the full RFC 793 state set. This mirrors `utcp::State` without
+/// depending on it (the dependency runs the other way), so lifecycle
+/// transitions can ride the same observer seam as spans and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Passive open: waiting for a SYN.
+    Listen,
+    /// Active open: SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// SYN received, waiting for the final ACK of the handshake.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Active close: FIN sent, waiting for its ACK or the peer's FIN.
+    FinWait1,
+    /// Our FIN is acknowledged; waiting for the peer's FIN.
+    FinWait2,
+    /// Simultaneous close: both FINs crossed, ours not yet acked.
+    Closing,
+    /// Passive close: peer's FIN consumed, local side may still send.
+    CloseWait,
+    /// Passive close: our FIN sent, waiting for its ACK.
+    LastAck,
+    /// Active closer lingers 2·MSL against old duplicates.
+    TimeWait,
+    /// No connection state.
+    Closed,
+}
+
+impl ConnState {
+    /// All states, in index order.
+    pub const ALL: [ConnState; 11] = [
+        ConnState::Listen,
+        ConnState::SynSent,
+        ConnState::SynRcvd,
+        ConnState::Established,
+        ConnState::FinWait1,
+        ConnState::FinWait2,
+        ConnState::Closing,
+        ConnState::CloseWait,
+        ConnState::LastAck,
+        ConnState::TimeWait,
+        ConnState::Closed,
+    ];
+
+    /// Stable snake_case name for exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConnState::Listen => "listen",
+            ConnState::SynSent => "syn_sent",
+            ConnState::SynRcvd => "syn_rcvd",
+            ConnState::Established => "established",
+            ConnState::FinWait1 => "fin_wait_1",
+            ConnState::FinWait2 => "fin_wait_2",
+            ConnState::Closing => "closing",
+            ConnState::CloseWait => "close_wait",
+            ConnState::LastAck => "last_ack",
+            ConnState::TimeWait => "time_wait",
+            ConnState::Closed => "closed",
+        }
+    }
+
+    /// Dense index for array storage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// Which state-machine edge produced a flight-recorder snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlightEdge {
@@ -458,6 +527,15 @@ pub trait SpanObserver {
     fn seg(&mut self, tag: crate::segtrace::SegTag, ev: crate::segtrace::SegEv) {
         let _ = (tag, ev);
     }
+
+    /// A connection moved between lifecycle states (RFC 793 machine),
+    /// stamped with the last [`SpanObserver::tick`]. Observer state is
+    /// plain host memory, so observed and unobserved runs stay
+    /// bit-identical on the wire and in every virtual-clock count.
+    #[inline]
+    fn lifecycle(&mut self, conn: u32, from: ConnState, to: ConnState) {
+        let _ = (conn, from, to);
+    }
 }
 
 /// The observer that observes nothing, at zero cost.
@@ -507,6 +585,11 @@ impl<O: SpanObserver> SpanObserver for &mut O {
     fn seg(&mut self, tag: crate::segtrace::SegTag, ev: crate::segtrace::SegEv) {
         (**self).seg(tag, ev);
     }
+
+    #[inline]
+    fn lifecycle(&mut self, conn: u32, from: ConnState, to: ConnState) {
+        (**self).lifecycle(conn, from, to);
+    }
 }
 
 #[cfg(test)]
@@ -535,6 +618,9 @@ mod tests {
         }
         for (i, e) in EventKind::ALL.iter().enumerate() {
             assert_eq!(e.index(), i);
+        }
+        for (i, s) in ConnState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
         }
     }
 

@@ -36,7 +36,11 @@ pub enum SessionState {
     Allocated,
     /// Handshake complete; the transfer is (or may be) in progress.
     Established,
-    /// Every chunk delivered and acknowledged.
+    /// Every chunk delivered and acknowledged; the FIN/ACK teardown
+    /// handshake is in flight.
+    Closing,
+    /// Transfer complete and the lifecycle machine torn down (the
+    /// server side reached TIME_WAIT or CLOSED).
     Done,
 }
 

@@ -449,7 +449,13 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
     /// `begin_run` + `step` until done + `finish_run`).
     pub fn begin_run<O: SpanObserver>(&mut self) -> RunState {
         let chunks_per_conn: Vec<usize> = self.table.iter().map(|s| s.chunks_total()).collect();
-        RunState { st: ObsState::new::<O>(&chunks_per_conn), last_progress: 0, bytes_seen: 0 }
+        // Anchor progress at the current clock so a churn wave that
+        // begins late in a long run does not trip the stall detector.
+        RunState {
+            st: ObsState::new::<O>(&chunks_per_conn),
+            last_progress: self.clock.now(),
+            bytes_seen: self.clients.iter().map(|c| c.bytes).sum(),
+        }
     }
 
     /// Execute one scheduling round. Returns `false` once every transfer
@@ -570,6 +576,11 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 sess.state = SessionState::Established;
                 sess.weight = info.weight.max(1);
                 sess.stats.established_at = now;
+                // The SYN carries the client's ISS: the data sender must
+                // know it so the client's eventual FIN (at exactly that
+                // sequence number — the client never sends data) lands
+                // in order and teardown can complete.
+                sess.tx.set_peer_iss(info.iss);
             }
             let has_work = sess.chunks_total() > 0;
             if newly && has_work {
@@ -687,8 +698,11 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                     }
                 }
                 // can_send is conservative about ring wrap; treat a raced
-                // refusal as "not ready this round".
-                Err(SendError::BufferFull | SendError::WindowClosed) => break,
+                // refusal as "not ready this round". `Closing` cannot
+                // race here (has_work implies Established), but if a
+                // scheduler ever picks a closing session the right move
+                // is to skip it, not crash the server.
+                Err(SendError::BufferFull | SendError::WindowClosed | SendError::Closing) => break,
                 Err(e) => panic!("send failed: {e}"),
             }
             burst += 1;
@@ -805,11 +819,38 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
                 && sess.tx.in_flight() == 0
                 && sess.state == SessionState::Established
             {
-                sess.state = SessionState::Done;
+                // Every byte delivered and acknowledged: actively close.
+                // The FIN rides the same fixed-header discipline as
+                // data, so wire identity between paths holds through
+                // teardown.
+                sess.tx.close_obs(m, &mut self.lb, obs);
+                sess.state = SessionState::Closing;
                 if O::ENABLED {
                     let took = now.saturating_sub(sess.stats.established_at);
                     obs.event(EventKind::Completed, i as u32, took);
                 }
+            }
+        }
+        // Teardown driving: a client whose receive direction saw the
+        // server's FIN answers with its own close, and its timer runs so
+        // a lost client FIN is retransmitted. Before any FIN exists the
+        // tick is a pure clock advance — pre-teardown rounds are
+        // bit-identical to the pre-lifecycle harness.
+        for c in &mut self.clients {
+            if !c.established {
+                continue;
+            }
+            if c.rx.state() == utcp::State::CloseWait {
+                c.rx.close_obs(m, &mut self.lb, obs);
+            }
+            c.rx.tick_obs(m, &mut self.lb, obs, pl);
+        }
+        for (i, sess) in self.table.iter_mut().enumerate() {
+            if sess.state == SessionState::Closing
+                && matches!(sess.tx.state(), utcp::State::TimeWait | utcp::State::Closed)
+                && self.clients[i].rx.state() == utcp::State::Closed
+            {
+                sess.state = SessionState::Done;
             }
         }
         if self.snapshot.is_none() && self.table.iter().any(|s| s.stats.completed_at != 0) {
@@ -876,6 +917,123 @@ impl<C: CipherKernel + Copy, K: KernelPart> ScaleHarness<C, K> {
         let c = &self.clients[i];
         let limit = bytes.min(self.cfg.file_len);
         (0..limit).all(|j| m.read_u8(c.app_out.at(j)) == file_pattern(self.cfg.conn_base + i, j))
+    }
+
+    /// Whether every connection on both sides has fully left the world:
+    /// server senders past TIME_WAIT, clients dead.
+    pub fn fully_closed(&self) -> bool {
+        self.table.iter().all(|s| s.tx.state() == utcp::State::Closed)
+            && self
+                .clients
+                .iter()
+                .all(|c| !c.established || c.rx.state() == utcp::State::Closed)
+    }
+
+    /// Total TIME_WAIT residency in ticks accumulated across all server
+    /// connections (the active closers).
+    pub fn time_wait_residency(&self) -> u64 {
+        self.table.iter().map(|s| s.tx.time_wait_residency()).sum()
+    }
+
+    /// After the run loop reports done (`Done` = sender in TIME_WAIT or
+    /// beyond, client dead), run settle-only rounds — no new data — until
+    /// every TIME_WAIT expires and both sides of every connection are
+    /// `Closed`, then release all data ports and drain residual control
+    /// queues. Returns the number of extra rounds taken.
+    ///
+    /// # Panics
+    /// Panics if teardown fails to quiesce within [`STALL_LIMIT`] rounds
+    /// (a lifecycle liveness bug), or if called before the transfers
+    /// completed.
+    pub fn drain_to_closed<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        path: Path,
+        obs: &mut O,
+    ) -> u64 {
+        assert!(
+            self.table.iter().all(|s| s.state != SessionState::Established),
+            "drain_to_closed called while transfers are still running"
+        );
+        let pl = path_label(path);
+        let mut rounds = 0u64;
+        while !self.fully_closed() {
+            rounds += 1;
+            assert!(rounds < STALL_LIMIT, "teardown failed to quiesce");
+            let now = self.clock.advance();
+            if O::ENABLED {
+                obs.tick(now);
+            }
+            for c in &mut self.clients {
+                if !c.established {
+                    continue;
+                }
+                while c.rx.poll_input_obs(m, &mut self.lb, obs, pl).is_some() {}
+                if c.rx.state() == utcp::State::CloseWait {
+                    c.rx.close_obs(m, &mut self.lb, obs);
+                }
+                c.rx.tick_obs(m, &mut self.lb, obs, pl);
+            }
+            for sess in self.table.iter_mut() {
+                while sess.tx.poll_input_obs(m, &mut self.lb, obs, pl).is_some() {}
+                sess.tx.tick_obs(m, &mut self.lb, obs, pl);
+            }
+        }
+        // Release every data port — the whole point of closing — and
+        // swallow residual control datagrams (duplicate SYN-ACKs for
+        // already-established clients) so the next incarnation starts
+        // from empty queues.
+        for sess in self.table.iter_mut() {
+            self.lb.unregister(sess.tx.local_port());
+            sess.state = SessionState::Done;
+        }
+        for c in &self.clients {
+            self.lb.unregister(c.data_port);
+            while self.lb.recv_into(m, c.ctrl_ep).is_some() {}
+        }
+        while self.lb.recv_into(m, self.listen_ep).is_some() {}
+        rounds
+    }
+
+    /// Begin a fresh churn wave: every connection must be fully closed
+    /// and its data ports released (see [`ScaleHarness::drain_to_closed`]).
+    /// Reopens each server/client pair in place — the address space is
+    /// long fixed, so nothing is allocated — resets transfer progress,
+    /// zeroes the client output region so this wave's verification is
+    /// real, and re-arms the accept handshake. The virtual clock and
+    /// cumulative transport stats carry across waves.
+    pub fn reopen_wave<M: Mem>(&mut self, m: &mut M) {
+        for (i, sess) in self.table.iter_mut().enumerate() {
+            assert_eq!(sess.state, SessionState::Done, "reopen_wave requires every session Done");
+            let g = self.cfg.conn_base + i;
+            sess.tx.reopen(&mut self.lb, server_iss(g));
+            sess.state = SessionState::Allocated;
+            sess.next_chunk = 0;
+            sess.stats = PerConnStats::default();
+            let c = &mut self.clients[i];
+            c.rx.reopen(&mut self.lb, c.iss);
+            c.established = false;
+            c.last_syn = None;
+            c.first_syn = None;
+            c.bytes = 0;
+            c.chunks = 0;
+            c.rejected = 0;
+            c.last_delivery_tick = 0;
+            for j in 0..self.cfg.file_len {
+                m.write_u8(c.app_out.at(j), 0);
+            }
+        }
+        self.snapshot = None;
+    }
+
+    /// Abortive teardown of session `i` (the RST path): the server
+    /// resets its side immediately; the client's machine dies when the
+    /// RST lands — or, if the RST is lost, when its next segment is
+    /// answered by the dead connection's RST.
+    pub fn abort_session<M: Mem>(&mut self, m: &mut M, i: usize) {
+        let sess = self.table.get_mut(ConnId(i as u32));
+        sess.tx.abort(m, &mut self.lb);
+        sess.state = SessionState::Closing;
     }
 
     /// Client `i`'s receive-side connection (read-only; simulation
@@ -1072,5 +1230,84 @@ mod tests {
         assert_eq!(corrupted, None, "faults must never corrupt delivered data");
         assert!(report.retransmits > 0, "drops must force retransmission");
         assert!(report.corrupted > 0, "corruption plan must have fired");
+    }
+
+    #[test]
+    fn completed_run_tears_down_and_drains_every_connection_to_closed() {
+        let mut space = AddressSpace::new();
+        let mut h = ScaleHarness::simplified(&mut space, ServerConfig::default());
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        h.init_world(&mut m);
+        let mut sched = RoundRobin::new();
+        h.run(&mut m, &mut sched, Path::Ilp);
+        assert_eq!(h.verify_outputs(&mut m), None);
+        // The run loop ends with every session torn down to at least
+        // TIME_WAIT on the server side and CLOSED on the client side.
+        for sess in h.table.iter() {
+            assert_eq!(sess.state, SessionState::Done);
+            assert!(
+                matches!(sess.tx.state(), utcp::State::TimeWait | utcp::State::Closed),
+                "server side still {:?}",
+                sess.tx.state()
+            );
+            assert_eq!(sess.tx.stats.fins_sent, 1);
+            assert_eq!(sess.tx.stats.fins_received, 1);
+        }
+        let extra = h.drain_to_closed(&mut m, Path::Ilp, &mut NoopObserver);
+        assert!(h.fully_closed(), "drain must finish every TIME_WAIT");
+        assert!(extra > 0, "run ends before TIME_WAIT expires; drain must do work");
+        // Every active closer sat out its full quiet time.
+        assert!(h.time_wait_residency() >= 4 * 2 * u64::from(utcp::MSL_TICKS));
+    }
+
+    #[test]
+    fn reopen_wave_reruns_the_transfer_over_recycled_ports() {
+        let mut space = AddressSpace::new();
+        let mut h = ScaleHarness::simplified(&mut space, ServerConfig::default());
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        h.init_world(&mut m);
+        let mut sched = RoundRobin::new();
+        let first = h.run(&mut m, &mut sched, Path::Ilp);
+        assert_eq!(h.verify_outputs(&mut m), None);
+        h.drain_to_closed(&mut m, Path::Ilp, &mut NoopObserver);
+        h.reopen_wave(&mut m);
+        let second = h.run(&mut m, &mut sched, Path::Ilp);
+        assert_eq!(h.verify_outputs(&mut m), None, "second wave must redeliver every byte");
+        assert_eq!(second.payload_bytes, first.payload_bytes);
+        h.drain_to_closed(&mut m, Path::Ilp, &mut NoopObserver);
+        assert!(h.fully_closed());
+        // Stats are cumulative across waves: two handshakes' worth of FINs.
+        for sess in h.table.iter() {
+            assert_eq!(sess.tx.stats.fins_sent, 2);
+        }
+    }
+
+    #[test]
+    fn aborted_session_resets_its_client_and_the_rest_complete() {
+        let mut space = AddressSpace::new();
+        let mut h = ScaleHarness::simplified(&mut space, ServerConfig::default());
+        let mut arena = space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        h.init_world(&mut m);
+        let mut sched = RoundRobin::new();
+        let mut obs = NoopObserver;
+        let mut run = h.begin_run::<NoopObserver>();
+        // Step until client 0 has accepted at least one chunk, then pull
+        // the plug on its session mid-transfer.
+        while h.client_rx(0).stats.accepted == 0 {
+            assert!(h.step(&mut m, &mut sched, Path::Ilp, &mut obs, &mut run));
+        }
+        h.abort_session(&mut m, 0);
+        assert_eq!(h.table.get(ConnId(0)).tx.state(), utcp::State::Closed);
+        while h.step(&mut m, &mut sched, Path::Ilp, &mut obs, &mut run) {}
+        // The RST tore the client down; its file is incomplete while the
+        // other three transfers still verify.
+        assert_eq!(h.verify_outputs(&mut m), Some(0));
+        assert!(h.client_rx(0).stats.resets_received >= 1);
+        assert_eq!(h.client_rx(0).state(), utcp::State::Closed);
+        h.drain_to_closed(&mut m, Path::Ilp, &mut obs);
+        assert!(h.fully_closed());
     }
 }

@@ -78,6 +78,28 @@ impl Scratch {
     }
 }
 
+/// Begin teardown on `conn` once every queued byte has been
+/// acknowledged: sends the FIN and moves the lifecycle machine forward
+/// (ESTABLISHED → FIN_WAIT_1, or CLOSE_WAIT → LAST_ACK). Returns `true`
+/// when the close was initiated, `false` while data is still in flight
+/// or the connection is already past the point of sending one.
+///
+/// The FIN is a bare fixed-size header like every other control TPDU,
+/// so threading teardown through either data path leaves the ILP ≡
+/// non-ILP wire identity untouched.
+pub fn close_when_drained<M: Mem, O: SpanObserver>(
+    m: &mut M,
+    conn: &mut Connection,
+    lb: &mut impl KernelPart,
+    obs: &mut O,
+) -> bool {
+    if conn.in_flight() != 0 || !conn.state().may_send_data() {
+        return false;
+    }
+    conn.close_obs(m, lb, obs);
+    true
+}
+
 /// Non-ILP marshalling pass into the shared marshal buffer (one read of
 /// the chunk, one write of the complete plaintext message).
 fn marshal_pass<C: CipherKernel, M: Mem>(
@@ -571,6 +593,50 @@ mod tests {
         rpcapp::paths::send_reply_ilp(&mut s, &mut m2, &meta0, suite_file).unwrap();
         let d2 = s.rx.poll_input(&mut m2, &mut s.lb).unwrap();
         assert_eq!(wire_pipeline, m2.bytes(d2.payload_addr, d2.payload_len).to_vec());
+    }
+
+    #[test]
+    fn pipeline_transfer_tears_down_to_closed_on_both_sides() {
+        use utcp::State;
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        w.cipher.init(&mut m, *b"ILP95key");
+        for i in 0..512 {
+            m.write_u8(w.file.at(i), (i % 241) as u8);
+        }
+        let a = meta(0, 0, 512);
+        send_chunk_ilp(&w.scratch, w.cipher, &mut m, &mut w.tx, &mut w.lb, &a, w.file.base)
+            .unwrap();
+        // Close refuses while the chunk is unacknowledged.
+        let mut obs = NoopObserver;
+        assert!(!close_when_drained(&mut m, &mut w.tx, &mut w.lb, &mut obs));
+        assert_eq!(w.tx.state(), State::Established);
+        recv_chunk_ilp(&w.scratch, w.cipher, &mut m, &mut w.rx, &mut w.lb, w.app_out)
+            .expect("delivered")
+            .expect("accepted");
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        // Drained: the close goes out and the peer answers in kind.
+        assert!(close_when_drained(&mut m, &mut w.tx, &mut w.lb, &mut obs));
+        assert_eq!(w.tx.state(), State::FinWait1);
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.rx.state(), State::CloseWait);
+        assert!(close_when_drained(&mut m, &mut w.rx, &mut w.lb, &mut obs));
+        assert_eq!(w.rx.state(), State::LastAck);
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.tx.state(), State::TimeWait);
+        assert_eq!(w.rx.state(), State::Closed);
+        for _ in 0..2 * utcp::MSL_TICKS {
+            w.tx.tick(&mut m, &mut w.lb);
+        }
+        assert_eq!(w.tx.state(), State::Closed);
+        // A closed pipeline refuses new work with the lifecycle error.
+        let b = meta(1, 0, 64);
+        assert!(matches!(
+            send_chunk_ilp(&w.scratch, w.cipher, &mut m, &mut w.tx, &mut w.lb, &b, w.file.base),
+            Err(SendError::Closing)
+        ));
     }
 
     #[test]

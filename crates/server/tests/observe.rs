@@ -15,7 +15,7 @@ use utcp::FaultPlan;
 fn faulty_cfg() -> ServerConfig {
     ServerConfig {
         n_conns: 4,
-        file_len: 6 * 1024,
+        file_len: 24 * 1024,
         chunk: 1024,
         faults: FaultPlan { drop_every: 11, corrupt_every: 7, ..Default::default() },
         ..Default::default()

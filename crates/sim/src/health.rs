@@ -133,13 +133,17 @@ fn run_to_completion(
 /// drops: a deterministic stride can phase-lock with the retransmission
 /// cadence and livelock the transfer.) The run still completes and
 /// still delivers every byte intact; a storm is a performance
-/// pathology, not a correctness failure.
+/// pathology, not a correctness failure. The dice seed is load-bearing:
+/// the run now ends with a FIN/ACK teardown under the same ~50% two-way
+/// loss, and a seed whose dice chain-drop one connection's FIN a few
+/// times in a row back-offs its RTO far enough to read as an RtoSpiral
+/// on top of the storm — this seed's teardown stays spiral-free.
 fn storm_world() -> Result<Vec<Verdict>, String> {
     let cfg = ServerConfig {
         n_conns: 4,
         file_len: 32 * 1024,
         chunk: 512,
-        faults: FaultPlan::seeded(7, FaultProbs { drop: 19_661, ..Default::default() }),
+        faults: FaultPlan::seeded(8, FaultProbs { drop: 19_661, ..Default::default() }),
         ..Default::default()
     };
     let (verdicts, report, _rec) = run_to_completion(cfg)?;

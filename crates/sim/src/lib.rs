@@ -37,12 +37,17 @@
 #![warn(missing_docs)]
 
 pub mod health;
+pub mod lifecycle;
 pub mod oracle;
 pub mod recovery;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
+pub use lifecycle::{
+    run_churn, run_teardown, shrink_teardown, sweep_teardown, ChurnOutcome, ChurnSpec,
+    TeardownSpec, TeardownSweepReport,
+};
 pub use runner::{
     run_caught, run_scenario, sweep, FailureReport, FaultTotals, RunOptions, ScenarioStats,
     SweepOpts, SweepReport,

@@ -15,8 +15,12 @@
 //!   advertised window (the kernel part never shrinks a window
 //!   mid-run, so this holds unconditionally here);
 //! * **ring accounting**: flight size equals the retransmission ring's
-//!   buffered data bytes, and the ring's structural invariants
+//!   buffered data bytes plus the unacknowledged FIN's sequence slot,
+//!   and the ring's structural invariants
 //!   ([`utcp::SendRing::check_invariants`]) hold;
+//! * **lifecycle legality** ([`crate::lifecycle`]): every observed
+//!   state change is reachable in the RFC 793 successor graph, and
+//!   once a FIN is accepted the receive edge freezes at `fin + 1`;
 //! * **congestion-window invariants**: cwnd ≥ 1 MSS, non-decreasing
 //!   within a loss-free epoch (delimited by `ConnStats::cwnd_cuts`),
 //!   pinned at a ≥ 2·MSS ssthresh inside fast recovery (halved, never
@@ -95,7 +99,7 @@ pub fn check_segtrace(
 }
 
 /// Per-connection previous values for the monotonicity checks.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 struct ConnPrev {
     snd_una: u32,
     snd_nxt: u32,
@@ -104,6 +108,10 @@ struct ConnPrev {
     established: bool,
     cwnd: u32,
     cwnd_cuts: u64,
+    tx_state: utcp::State,
+    rx_state: utcp::State,
+    rx_accepted: u64,
+    rx_fin: Option<u32>,
 }
 
 /// Tracks one harness across ticks and counts the oracle evaluations.
@@ -150,7 +158,30 @@ impl Tracker {
                 established: false,
                 cwnd: tx.cwnd(),
                 cwnd_cuts: tx.stats.cwnd_cuts,
+                tx_state: tx.state(),
+                rx_state: rx0.state(),
+                rx_accepted: rx0.stats.accepted,
+                rx_fin: rx0.fin_rcvd_seq(),
             });
+
+            // Lifecycle: every state change must be reachable in the
+            // RFC 793 successor graph — Closed is terminal within a
+            // tracked run and TIME_WAIT never resurrects. (One tick can
+            // span several transitions; reachability, not adjacency.)
+            if !crate::lifecycle::reachable(prev.tx_state, tx.state()) {
+                return Err(format!(
+                    "conn {i}: illegal server transition {} -> {}",
+                    prev.tx_state.name(),
+                    tx.state().name()
+                ));
+            }
+            if !crate::lifecycle::reachable(prev.rx_state, rx0.state()) {
+                return Err(format!(
+                    "conn {i}: illegal client transition {} -> {}",
+                    prev.rx_state.name(),
+                    rx0.state().name()
+                ));
+            }
 
             if !advanced(prev.snd_una, tx.snd_una()) {
                 return Err(format!("conn {i}: snd_una went backwards"));
@@ -161,14 +192,19 @@ impl Tracker {
             if !advanced(tx.snd_una(), tx.snd_nxt()) {
                 return Err(format!("conn {i}: snd_una passed snd_nxt"));
             }
+            // The FIN occupies one sequence slot outside the data ring,
+            // so flight accounting carries it explicitly — and it is
+            // exempt from the advertised window (RFC 793: a FIN may be
+            // sent into a zero window).
             let in_flight = tx.in_flight() as usize;
-            if in_flight != tx.ring().buffered_bytes() {
+            let fin = tx.fin_in_flight() as usize;
+            if in_flight != tx.ring().buffered_bytes() + fin {
                 return Err(format!(
-                    "conn {i}: in_flight {in_flight} != ring buffered {}",
+                    "conn {i}: in_flight {in_flight} != ring buffered {} + fin {fin}",
                     tx.ring().buffered_bytes()
                 ));
             }
-            if in_flight > usize::from(tx.peer_window()) {
+            if in_flight > usize::from(tx.peer_window()) + fin {
                 return Err(format!(
                     "conn {i}: in_flight {in_flight} exceeds advertised window {}",
                     tx.peer_window()
@@ -225,6 +261,31 @@ impl Tracker {
             {
                 return Err(format!("conn {i}: rcv_nxt went backwards"));
             }
+            // Post-FIN freeze: once the client has accepted the
+            // server's FIN, its receive edge is pinned at fin + 1
+            // forever and no further segment may be accepted — the
+            // exact property the accept-after-FIN mutation breaks.
+            if let Some(f) = rx.fin_rcvd_seq() {
+                if rx.rcv_nxt() != f.wrapping_add(1) {
+                    return Err(format!(
+                        "conn {i}: client rcv_nxt {:#x} moved past the accepted FIN at {f:#x} \
+                         — data after FIN",
+                        rx.rcv_nxt()
+                    ));
+                }
+                if prev.rx_fin == Some(f) && rx.stats.accepted != prev.rx_accepted {
+                    return Err(format!(
+                        "conn {i}: client accepted a segment after processing the FIN"
+                    ));
+                }
+            }
+            if let Some(f) = tx.fin_rcvd_seq() {
+                if tx.rcv_nxt() != f.wrapping_add(1) {
+                    return Err(format!(
+                        "conn {i}: server rcv_nxt moved past the client's FIN"
+                    ));
+                }
+            }
             let (bytes, _chunks, _rejected) = h.client_progress(i);
             if bytes < prev.bytes {
                 return Err(format!("conn {i}: delivered bytes shrank"));
@@ -242,7 +303,11 @@ impl Tracker {
             prev.established = h.client_established(i);
             prev.cwnd = tx.cwnd();
             prev.cwnd_cuts = tx.stats.cwnd_cuts;
-            self.checks += 12 + u64::from(deep);
+            prev.tx_state = tx.state();
+            prev.rx_state = rx.state();
+            prev.rx_accepted = rx.stats.accepted;
+            prev.rx_fin = rx.fin_rcvd_seq();
+            self.checks += 17 + u64::from(deep);
         }
         Ok(())
     }

@@ -209,6 +209,22 @@ fn run_one_path(sc: &Scenario, opts: &RunOptions, path: Path) -> Result<Transfer
         ));
     }
     checks += 1;
+    // Teardown totality: a completed run has already exchanged FINs
+    // (the server closes each finished transfer); draining TIME_WAIT
+    // must take every connection on both sides all the way to Closed.
+    h.drain_to_closed(&mut m, path, &mut obs::NoopObserver);
+    if !h.fully_closed() {
+        return Err(format!("{path:?}: drain left live connections after a completed run"));
+    }
+    for (i, sess) in h.table.iter().enumerate() {
+        if sess.tx.stats.fins_sent != 1 || sess.tx.stats.fins_received != 1 {
+            return Err(format!(
+                "{path:?}: conn {i} exchanged {}/{} FINs, want exactly one each way",
+                sess.tx.stats.fins_sent, sess.tx.stats.fins_received
+            ));
+        }
+    }
+    checks += 1 + sc.n_conns as u64;
     Ok(TransferRun {
         per_conn: (0..sc.n_conns).map(|i| h.client_progress(i)).collect(),
         faults: FaultTotals {

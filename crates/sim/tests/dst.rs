@@ -29,6 +29,20 @@ fn smoke_sweep_is_all_green() {
 }
 
 #[test]
+fn teardown_sweep_is_all_green() {
+    // The lifecycle block: six pinned teardown worlds, then 200 seeded
+    // teardown-under-fault worlds, each under the legal-transition,
+    // post-FIN-freeze, flight-accounting and liveness oracles.
+    let rep = sim::sweep_teardown(0x7EAF_0000, 200, false);
+    if let Some((shrunk, message, test_case)) = &rep.failure {
+        panic!("teardown sweep failed: {message}\nspec: {shrunk:?}\nreproducer:\n{test_case}");
+    }
+    assert_eq!(rep.seeds_run, 200);
+    assert_eq!(rep.passed, 206, "200 seeded + 6 pinned worlds");
+    assert!(rep.oracle_checks > 10_000, "only {} oracle checks", rep.oracle_checks);
+}
+
+#[test]
 fn sweep_is_deterministic() {
     let opts = SweepOpts { base_seed: 7, seeds: 12, inject_ring_bug: false };
     let a = sweep(&opts);

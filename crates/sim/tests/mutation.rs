@@ -1,10 +1,17 @@
-//! Mutation test: re-introduce the historical saturated-tail ring-wrap
-//! bug (shipped before PR 3, now behind the test-only
-//! `SendRing::inject_legacy_wrap_bug` hook) and prove the sweep's
-//! oracles catch it inside the CI seed budget. An oracle set that
-//! cannot re-find a real, previously-shipped bug is decoration.
+//! Mutation tests: re-introduce deliberate bugs behind test-only hooks
+//! and prove the oracles catch them inside the CI seed budget. An
+//! oracle set that cannot re-find a real or representative bug is
+//! decoration.
+//!
+//! Two mutations are proved here: the historical saturated-tail
+//! ring-wrap bug (shipped before PR 3, behind
+//! `SendRing::inject_legacy_wrap_bug`) against the transfer sweep, and
+//! the accept-data-after-FIN bug (behind
+//! `Connection::inject_accept_after_fin_bug`) against the lifecycle
+//! teardown sweep.
 
-use sim::{run_caught, sweep, RunOptions, SweepOpts};
+use sim::lifecycle::stale_data_after_fin;
+use sim::{run_caught, sweep, sweep_teardown, RunOptions, SweepOpts};
 
 #[test]
 fn sweep_catches_the_legacy_ring_wrap_bug() {
@@ -30,4 +37,30 @@ fn sweep_catches_the_legacy_ring_wrap_bug() {
     // Without the mutation the same scenario is clean: the failure is
     // the bug's, not the scenario's.
     run_caught(&f.shrunk, &RunOptions::default()).expect("clean code passes the reproducer");
+}
+
+#[test]
+fn teardown_sweep_catches_the_accept_after_fin_bug() {
+    // Same base seed block CI sweeps, mutation switched on: the
+    // receiver silently accepts a data segment that lands after the
+    // FIN it already processed. The post-FIN freeze oracle (rcv_nxt
+    // pinned at fin + 1) must fail the sweep.
+    let rep = sweep_teardown(0x7EAF_0000, 50, true);
+    let (_, message, _) =
+        rep.failure.expect("the sweep must catch the accept-after-FIN mutation");
+    assert!(
+        message.contains("FIN"),
+        "failure should implicate the post-FIN gate: {message}"
+    );
+
+    // The dedicated stale-data world fails deterministically with the
+    // bug on, and passes with it off: the failure is the mutation's.
+    let with_bug = stale_data_after_fin(true).expect_err("mutant must fail the stale-data world");
+    let again = stale_data_after_fin(true).expect_err("and fail identically on replay");
+    assert_eq!(with_bug, again, "mutation reproducer is not deterministic");
+    stale_data_after_fin(false).expect("clean code passes the same world");
+
+    // And the clean sweep over the same block stays green.
+    let clean = sweep_teardown(0x7EAF_0000, 50, false);
+    assert!(clean.failure.is_none(), "{:?}", clean.failure);
 }

@@ -90,6 +90,16 @@ pub trait KernelPart {
     /// receive from it.
     fn register(&mut self, port: u16) -> EndpointId;
 
+    /// Release a listening port so a later `register` can reuse it —
+    /// the final step of connection teardown once the lifecycle machine
+    /// reaches `Closed`. Datagrams already queued on the endpoint stay
+    /// readable through the old handle; *new* arrivals for the port
+    /// count as unroutable. The default is a no-op for backends whose
+    /// demultiplexing is fixed at bind time.
+    fn unregister(&mut self, port: u16) {
+        let _ = port;
+    }
+
     /// Send one TPDU: encapsulate the TCP header at `hdr_addr` and
     /// `payload_len` bytes at `payload_addr` in IPv4 and hand the
     /// datagram to the network. `payload_len` may be zero (pure ACK).
@@ -140,6 +150,10 @@ pub trait KernelPart {
 impl KernelPart for Loopback {
     fn register(&mut self, port: u16) -> EndpointId {
         Loopback::register(self, port)
+    }
+
+    fn unregister(&mut self, port: u16) {
+        Loopback::unregister(self, port);
     }
 
     fn send<M: Mem>(

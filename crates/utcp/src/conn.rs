@@ -102,6 +102,105 @@ impl Default for UtcpConfig {
     }
 }
 
+/// Maximum segment lifetime in virtual ticks. The active closer lingers
+/// in [`State::TimeWait`] for 2·MSL before releasing its port, so old
+/// duplicates from the closed incarnation cannot be mistaken for
+/// segments of a new one. Small by real-world standards because the
+/// virtual world's queues drain within a few ticks.
+pub const MSL_TICKS: u32 = 16;
+
+/// RFC 793 connection lifecycle states.
+///
+/// Data connections created by [`Connection::new`] start in
+/// [`State::Established`] — the SYN exchange runs in the server
+/// subsystem's accept handshake (or is pre-agreed, as in the two-process
+/// UDP demo) before the data connection exists, matching the paper's
+/// measurement setup. The handshake states exist so the one transition
+/// matrix covers open and close; teardown (FIN/ACK, simultaneous close,
+/// TIME_WAIT, RST) runs entirely inside this machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Passive open: waiting for a SYN.
+    Listen,
+    /// Active open: SYN sent.
+    SynSent,
+    /// SYN received, handshake ACK outstanding.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Active close: our FIN sent, nothing acked yet.
+    FinWait1,
+    /// Our FIN is acked; waiting for the peer's FIN (half-closed: the
+    /// peer may keep streaming data, which we still accept and ACK).
+    FinWait2,
+    /// Simultaneous close: FINs crossed, ours still unacked.
+    Closing,
+    /// Peer's FIN consumed; we may still send until `close`.
+    CloseWait,
+    /// Passive close: our FIN sent after the peer's, awaiting its ACK.
+    LastAck,
+    /// Active closer lingering 2·[`MSL_TICKS`] against old duplicates.
+    TimeWait,
+    /// No connection.
+    Closed,
+}
+
+impl State {
+    /// All states, in index order.
+    pub const ALL: [State; 11] = [
+        State::Listen,
+        State::SynSent,
+        State::SynRcvd,
+        State::Established,
+        State::FinWait1,
+        State::FinWait2,
+        State::Closing,
+        State::CloseWait,
+        State::LastAck,
+        State::TimeWait,
+        State::Closed,
+    ];
+
+    /// Stable snake_case name for exposition.
+    pub fn name(self) -> &'static str {
+        self.tag().name()
+    }
+
+    /// Whether the application may hand new data to `reserve`/`send_*`.
+    /// Only `Established` and `CloseWait` (peer half-closed, we have
+    /// not) may originate data; everywhere else the send direction is
+    /// shut and [`SendError::Closing`] is returned.
+    pub fn may_send_data(self) -> bool {
+        matches!(self, State::Established | State::CloseWait)
+    }
+
+    /// Whether inbound data is still deliverable: the peer has not yet
+    /// FINed (its FIN, once consumed, promises no more data).
+    pub fn may_recv_data(self) -> bool {
+        matches!(
+            self,
+            State::Established | State::FinWait1 | State::FinWait2 | State::SynRcvd
+        )
+    }
+
+    /// The observability-layer mirror of this state.
+    pub fn tag(self) -> obs::ConnState {
+        match self {
+            State::Listen => obs::ConnState::Listen,
+            State::SynSent => obs::ConnState::SynSent,
+            State::SynRcvd => obs::ConnState::SynRcvd,
+            State::Established => obs::ConnState::Established,
+            State::FinWait1 => obs::ConnState::FinWait1,
+            State::FinWait2 => obs::ConnState::FinWait2,
+            State::Closing => obs::ConnState::Closing,
+            State::CloseWait => obs::ConnState::CloseWait,
+            State::LastAck => obs::ConnState::LastAck,
+            State::TimeWait => obs::ConnState::TimeWait,
+            State::Closed => obs::ConnState::Closed,
+        }
+    }
+}
+
 /// Why a send was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendError {
@@ -117,6 +216,11 @@ pub enum SendError {
         /// Configured MTU.
         mtu: usize,
     },
+    /// The send direction is shut: the connection left
+    /// [`State::Established`]/[`State::CloseWait`] (FIN already queued,
+    /// reset, or never opened). Unlike [`SendError::WindowClosed`] this
+    /// is permanent — retrying cannot succeed.
+    Closing,
 }
 
 impl core::fmt::Display for SendError {
@@ -125,6 +229,7 @@ impl core::fmt::Display for SendError {
             SendError::BufferFull => write!(f, "retransmission ring full"),
             SendError::WindowClosed => write!(f, "peer window closed"),
             SendError::TooLarge { len, mtu } => write!(f, "TSDU of {len} bytes exceeds MTU {mtu}"),
+            SendError::Closing => write!(f, "connection is closing"),
         }
     }
 }
@@ -176,6 +281,14 @@ pub struct ConnStats {
     pub accepted: u64,
     /// Segments rejected (checksum, duplicate, out of order).
     pub rejected: u64,
+    /// FIN segments sent (first transmission only).
+    pub fins_sent: u64,
+    /// Peer FINs consumed in order.
+    pub fins_received: u64,
+    /// RST segments sent (aborts and dead-port replies).
+    pub resets_sent: u64,
+    /// RSTs accepted, each tearing the connection down completely.
+    pub resets_received: u64,
 }
 
 /// One endpoint of a uni-directional user-level TCP connection.
@@ -260,6 +373,21 @@ pub struct Connection {
     /// have no observer in scope, so marks buffer here and
     /// [`Connection::drain_seg_marks`] forwards them.
     seg_out: Vec<(SegTag, SegEv)>,
+    /// Lifecycle state (RFC 793 machine). Renamed from the obvious
+    /// `state` because that names the TCB region above.
+    lifecycle: State,
+    /// Sequence number our FIN occupies, once sent (it consumes one).
+    fin_sent: Option<u32>,
+    /// Sequence number of the peer's FIN, once consumed in order.
+    fin_rcvd: Option<u32>,
+    /// Tick at which TIME_WAIT was (last) entered — a retransmitted
+    /// peer FIN restarts the 2·MSL clock.
+    time_wait_enter: u32,
+    /// Accumulated TIME_WAIT residency across incarnations, in ticks.
+    time_wait_ticks: u64,
+    /// Test-only re-injected bug: accept data arriving after the peer's
+    /// FIN was consumed. Exists to prove the lifecycle oracles catch it.
+    accept_after_fin_bug: bool,
     /// Statistics.
     pub stats: ConnStats,
 }
@@ -353,6 +481,12 @@ impl Connection {
             pending_seg: None,
             seg_map: BTreeMap::new(),
             seg_out: Vec::new(),
+            lifecycle: State::Established,
+            fin_sent: None,
+            fin_rcvd: None,
+            time_wait_enter: 0,
+            time_wait_ticks: 0,
+            accept_after_fin_bug: false,
             stats: ConnStats::default(),
         }
     }
@@ -495,6 +629,183 @@ impl Connection {
         self.rcv_nxt = iss;
     }
 
+    /// Current lifecycle state (RFC 793 machine).
+    pub fn state(&self) -> State {
+        self.lifecycle
+    }
+
+    /// The sequence number our FIN occupies, once `close` queued it.
+    pub fn fin_sent_seq(&self) -> Option<u32> {
+        self.fin_sent
+    }
+
+    /// The sequence number of the peer's FIN, once consumed in order.
+    /// While this is `Some`, `rcv_nxt` is pinned at `fin + 1` and no
+    /// further data may be accepted — one of the lifecycle oracles.
+    pub fn fin_rcvd_seq(&self) -> Option<u32> {
+        self.fin_rcvd
+    }
+
+    /// 1 while our FIN is in flight (sent but unacknowledged), else 0.
+    /// The FIN consumes a sequence number without occupying ring space,
+    /// so the oracle identity is
+    /// `in_flight == ring.buffered_bytes() + fin_in_flight`.
+    pub fn fin_in_flight(&self) -> u32 {
+        u32::from(self.fin_sent.is_some() && self.snd_una != self.snd_nxt)
+    }
+
+    /// Accumulated TIME_WAIT residency in ticks, including the current
+    /// (unfinished) stay when the connection is in TIME_WAIT now.
+    pub fn time_wait_residency(&self) -> u64 {
+        let current = if self.lifecycle == State::TimeWait {
+            u64::from(self.ticks - self.time_wait_enter)
+        } else {
+            0
+        };
+        self.time_wait_ticks + current
+    }
+
+    /// Move the lifecycle machine, emitting the transition through the
+    /// observer hook. Observer state is plain host memory and the
+    /// transition itself is decided before the hook runs, so observed
+    /// and unobserved runs stay bit-identical.
+    fn set_state<O: SpanObserver>(&mut self, to: State, obs: &mut O) {
+        if self.lifecycle == to {
+            return;
+        }
+        if O::ENABLED {
+            obs.lifecycle(self.obs_id, self.lifecycle.tag(), to.tag());
+        }
+        if to == State::TimeWait {
+            self.time_wait_enter = self.ticks;
+        }
+        if self.lifecycle == State::TimeWait {
+            self.time_wait_ticks += u64::from(self.ticks - self.time_wait_enter);
+        }
+        self.lifecycle = to;
+    }
+
+    /// Test-only: re-inject the "accept data after FIN" bug so the
+    /// lifecycle oracle sweep can prove it still catches it.
+    #[doc(hidden)]
+    pub fn inject_accept_after_fin_bug(&mut self, on: bool) {
+        self.accept_after_fin_bug = on;
+    }
+
+    /// Orderly close of the send direction (RFC 793 CLOSE): queue a FIN
+    /// after any data already sent and move to `FinWait1` (active) or
+    /// `LastAck` (passive, after the peer's FIN). Idempotent in every
+    /// other state.
+    pub fn close<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) {
+        self.close_obs(m, lb, &mut NoopObserver);
+    }
+
+    /// [`Connection::close`] with the lifecycle transition and segment
+    /// emission reported through `obs`.
+    pub fn close_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        obs: &mut O,
+    ) {
+        match self.lifecycle {
+            State::Established => {
+                self.send_fin_obs(m, lb, obs);
+                self.set_state(State::FinWait1, obs);
+            }
+            State::CloseWait => {
+                self.send_fin_obs(m, lb, obs);
+                self.set_state(State::LastAck, obs);
+            }
+            State::Listen | State::SynSent | State::SynRcvd => {
+                self.set_state(State::Closed, obs);
+            }
+            _ => {} // already closing or closed
+        }
+    }
+
+    /// Abortive close (RFC 793 ABORT): send a RST, discard all send and
+    /// receive state, and go straight to `Closed`. Teardown is total —
+    /// nothing is retransmitted, held or resurrected afterwards.
+    pub fn abort<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart) {
+        self.abort_obs(m, lb, &mut NoopObserver);
+    }
+
+    /// [`Connection::abort`] with observer attribution.
+    pub fn abort_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        obs: &mut O,
+    ) {
+        if self.lifecycle == State::Closed {
+            return;
+        }
+        if !matches!(self.lifecycle, State::Listen | State::SynSent) {
+            self.send_rst_obs(m, lb, obs);
+        }
+        self.teardown_total();
+        self.set_state(State::Closed, obs);
+    }
+
+    /// Scrub every piece of transfer state so a reset connection can
+    /// never act on stale data: empty the ring, collapse the flight
+    /// window, drop the scoreboard, reassembly slots and trace maps.
+    fn teardown_total(&mut self) {
+        self.ring.ack(self.snd_nxt);
+        self.snd_una = self.snd_nxt;
+        self.rtt_probe = None;
+        self.dup_acks = 0;
+        self.recovery = None;
+        self.sacked.clear();
+        self.ooo_seen.clear();
+        self.pending_seg = None;
+        self.seg_map.clear();
+    }
+
+    /// Reset the connection in place for a fresh transfer over the same
+    /// memory regions — the churn primitive. The arena is fixed after
+    /// construction, so reuse must not allocate: every region (ring,
+    /// staging, TCB, hold slots) is recycled and the local port is
+    /// re-registered with the kernel part, yielding a fresh endpoint.
+    /// Cumulative [`ConnStats`] and the virtual clock survive; all
+    /// transfer and teardown state does not. Call
+    /// [`Connection::set_peer_iss`] afterwards, as at construction.
+    ///
+    /// # Panics
+    /// If the connection is not `Closed` — reopening a live machine
+    /// would resurrect acknowledged state.
+    pub fn reopen(&mut self, lb: &mut impl KernelPart, iss: u32) {
+        assert_eq!(self.lifecycle, State::Closed, "reopen requires Closed");
+        debug_assert_eq!(self.ring.buffered_bytes(), 0, "Closed implies an empty ring");
+        self.ring.ack(self.snd_nxt); // reset the ring tail for the new stream
+        lb.unregister(self.cfg.local_port); // idempotent if already released
+        self.endpoint = lb.register(self.cfg.local_port);
+        self.lifecycle = State::Established;
+        self.snd_una = iss;
+        self.snd_nxt = iss;
+        self.rcv_nxt = 0;
+        self.peer_window = self.cfg.window;
+        self.last_progress = self.ticks;
+        let mss = self.cfg.mtu as u32;
+        self.cwnd = if self.cfg.congestion_control { 2 * mss } else { u32::MAX / 4 };
+        self.ssthresh = u32::MAX / 4;
+        self.rto = self.cfg.rto_ticks;
+        self.srtt8 = 0;
+        self.rttvar4 = 0;
+        self.rtt_probe = None;
+        self.dup_acks = 0;
+        self.recovery = None;
+        self.high_rxt = iss;
+        self.sacked.clear();
+        self.ooo_seen.clear();
+        self.ooo_stamp = 0;
+        self.pending_seg = None;
+        self.seg_map.clear();
+        self.fin_sent = None;
+        self.fin_rcvd = None;
+    }
+
     /// The kernel-part endpoint this connection receives on. The server
     /// subsystem uses this to key its connection table.
     pub fn endpoint(&self) -> EndpointId {
@@ -604,8 +915,15 @@ impl Connection {
     // Send side
     // ------------------------------------------------------------------
 
-    /// Validate a send of `len` bytes and reserve ring space.
+    /// Validate a send of `len` bytes and reserve ring space. The
+    /// lifecycle gate comes first: once the send direction is shut
+    /// (FIN queued, reset, or never opened) no amount of draining can
+    /// make the send legal, and the caller must see that distinctly
+    /// from transient back-pressure.
     fn reserve(&mut self, len: usize) -> Result<Extent, SendError> {
+        if !self.lifecycle.may_send_data() {
+            return Err(SendError::Closing);
+        }
         if len > self.cfg.mtu {
             return Err(SendError::TooLarge { len, mtu: self.cfg.mtu });
         }
@@ -618,7 +936,8 @@ impl Connection {
     /// Whether an ILP send of `len` bytes could proceed right now (the
     /// paper's buffer-availability check before entering the loop).
     pub fn can_send(&self, len: usize) -> bool {
-        len <= self.cfg.mtu
+        self.lifecycle.may_send_data()
+            && len <= self.cfg.mtu
             && self.window_allows(len)
             && self.ring.free_bytes() >= len // conservative: ignores wrap waste
     }
@@ -834,11 +1153,41 @@ impl Connection {
         path: PathLabel,
     ) {
         self.ticks += 1;
+        if self.lifecycle == State::Closed {
+            self.last_progress = self.ticks;
+            return;
+        }
+        if self.lifecycle == State::TimeWait {
+            // The 2·MSL quiet period: nothing is transmitted, the
+            // machine only waits out stragglers, then dies for real.
+            self.last_progress = self.ticks;
+            if self.ticks.wrapping_sub(self.time_wait_enter) >= 2 * MSL_TICKS {
+                self.set_state(State::Closed, obs);
+            }
+            return;
+        }
         if self.in_flight() == 0 {
             self.last_progress = self.ticks;
             return;
         }
         if self.ticks.wrapping_sub(self.last_progress) >= self.rto {
+            if self.ring.oldest().is_none() && self.fin_in_flight() == 1 {
+                // Only the FIN is outstanding: retransmit it under the
+                // same exponential back-off. No cwnd collapse — there
+                // is no data in flight left to collapse for.
+                self.last_progress = self.ticks;
+                self.dup_acks = 0;
+                self.rtt_probe = None; // Karn
+                self.rto = self.clamp_rto(self.rto.saturating_mul(2));
+                self.stats.retransmits += 1;
+                if O::ENABLED {
+                    obs.count(Counter::RtoBackoffs, 1);
+                    obs.event(EventKind::RtoBackoff, self.obs_id, self.rto as u64);
+                }
+                let seq = self.fin_sent.expect("fin_in_flight implies fin_sent");
+                self.emit_ctl(m, lb, seq, TcpFlags::FIN_ACK);
+                return;
+            }
             if let Some(oldest) = self.ring.oldest() {
                 self.last_progress = self.ticks; // back-off: one per RTO
                 if self.cfg.congestion_control {
@@ -956,6 +1305,81 @@ impl Connection {
             let opt_len = hdr_len - TCP_HEADER_LEN;
             let payload_len = tcp_total - hdr_len;
             m.compute(40); // header prediction / initial parse
+
+            if flags.contains(TcpFlags::RST) {
+                // A RST is destructive, so unlike a plain ACK its header
+                // is checksum-verified before it is honoured; it must be
+                // a bare header and fall inside the receive window.
+                // TIME_WAIT ignores RSTs so a late one cannot cut the
+                // 2·MSL quiet period short.
+                let mut sum = InetChecksum::new();
+                self.pseudo_in(opt_len + payload_len).add_to(&mut sum);
+                hdr.add_to_checksum(m, &mut sum);
+                let seq_ok = seq.wrapping_sub(self.rcv_nxt) <= u32::from(self.cfg.window);
+                if opt_len != 0
+                    || payload_len != 0
+                    || sum.finish() != 0
+                    || !seq_ok
+                    || matches!(self.lifecycle, State::TimeWait | State::Closed)
+                {
+                    self.stats.rejected += 1;
+                    continue;
+                }
+                self.stats.resets_received += 1;
+                self.teardown_total();
+                self.set_state(State::Closed, obs);
+                continue;
+            }
+
+            if self.lifecycle == State::Closed {
+                // A segment for a dead connection: answer with a RST so
+                // the peer tears down instead of retransmitting into the
+                // void (RFC 793: "if the connection does not exist ...
+                // a reset is sent").
+                self.stats.rejected += 1;
+                self.send_rst_obs(m, lb, obs);
+                continue;
+            }
+
+            if flags.contains(TcpFlags::FIN) && payload_len == 0 {
+                // A FIN moves the machine, so verify it first (a plain
+                // ACK's fields are guarded by `process_ack` instead).
+                let mut sum = InetChecksum::new();
+                self.pseudo_in(opt_len).add_to(&mut sum);
+                hdr.add_to_checksum(m, &mut sum);
+                if opt_len > 0 {
+                    hdr.add_options_to_checksum(m, opt_len, &mut sum);
+                }
+                if sum.finish() != 0 {
+                    self.stats.rejected += 1;
+                    continue;
+                }
+                if flags.contains(TcpFlags::ACK) {
+                    self.process_ack(m, lb, ack, window, &SackBlocks::default(), obs, path);
+                }
+                self.handle_fin(m, lb, seq, obs);
+                continue;
+            }
+
+            if payload_len > 0 && self.fin_rcvd.is_some() {
+                if self.accept_after_fin_bug {
+                    // Deliberately wrong (test-only, see
+                    // `inject_accept_after_fin_bug`): counts the segment
+                    // accepted and moves `rcv_nxt` past the consumed FIN
+                    // — exactly the corruption the lifecycle oracles pin
+                    // (`rcv_nxt` stays at fin+1, `accepted` frozen).
+                    self.stats.accepted += 1;
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(payload_len as u32);
+                } else {
+                    // Data past the peer's FIN: the FIN promised no more.
+                    // Drop it and re-ACK fin+1 (covers the common benign
+                    // case — a retransmission whose original ACK was
+                    // lost racing the FIN).
+                    self.stats.rejected += 1;
+                    self.send_ack(m, lb);
+                }
+                continue;
+            }
 
             if payload_len == 0 && flags.contains(TcpFlags::ACK) {
                 let sacks = if opt_len > 0 {
@@ -1204,6 +1628,119 @@ impl Connection {
         );
     }
 
+    /// Emit a zero-payload control segment (FIN|ACK or RST) with the
+    /// paper's fixed 20-byte header — no options, no payload — so FIN
+    /// and RST ride the exact data-TPDU header discipline over every
+    /// backend and wire identity between ILP and non-ILP holds through
+    /// teardown.
+    fn emit_ctl<M: Mem>(&mut self, m: &mut M, lb: &mut impl KernelPart, seq: u32, flags: TcpFlags) {
+        let hdr = TcpHeader::at(self.hdr.base);
+        hdr.build(
+            m,
+            self.cfg.local_port,
+            self.cfg.peer_port,
+            seq,
+            self.rcv_nxt,
+            flags,
+            self.cfg.window,
+        );
+        let csum = hdr.segment_checksum(m, self.pseudo_out(0), InetChecksum::new());
+        hdr.set_checksum(m, csum);
+        lb.send(
+            m,
+            self.cfg.local_ip,
+            self.cfg.peer_ip,
+            self.cfg.peer_port,
+            self.hdr.base,
+            self.hdr.base + TCP_HEADER_LEN,
+            0,
+        );
+    }
+
+    /// Queue and transmit our FIN. The FIN consumes one sequence number
+    /// (`snd_nxt` advances past it) without occupying ring space; the
+    /// retransmission timer keeps it alive through
+    /// [`Connection::fin_in_flight`] until the peer acknowledges it.
+    fn send_fin_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        obs: &mut O,
+    ) {
+        let seq = self.snd_nxt;
+        self.fin_sent = Some(seq);
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        self.stats.fins_sent += 1;
+        self.last_progress = self.ticks;
+        // Karn: never sample RTT across the FIN exchange — a teardown
+        // ACK may cover a retransmitted FIN.
+        self.rtt_probe = None;
+        self.emit_ctl(m, lb, seq, TcpFlags::FIN_ACK);
+        self.touch_state(m);
+        if O::ENABLED {
+            obs.flight(self.obs_id, self.flight_snap(FlightEdge::Send));
+        }
+    }
+
+    /// Emit a RST at the current `snd_nxt`. A RST consumes no sequence
+    /// number and is never retransmitted (teardown by RST is total on
+    /// both sides; a lost RST is re-elicited by the peer's next segment).
+    fn send_rst_obs<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        _obs: &mut O,
+    ) {
+        self.stats.resets_sent += 1;
+        self.emit_ctl(m, lb, self.snd_nxt, TcpFlags::RST);
+    }
+
+    /// Consume a peer FIN at `seq`. In order: advance `rcv_nxt` past
+    /// it, move the machine, and ACK. A retransmitted FIN (already
+    /// consumed) is re-ACKed, and in TIME_WAIT it also restarts the
+    /// 2·MSL quiet period (RFC 793 §3.9); an out-of-order FIN (data
+    /// still missing before it) only repeats the cumulative ACK.
+    fn handle_fin<M: Mem, O: SpanObserver>(
+        &mut self,
+        m: &mut M,
+        lb: &mut impl KernelPart,
+        seq: u32,
+        obs: &mut O,
+    ) {
+        if self.fin_rcvd == Some(seq) {
+            if self.lifecycle == State::TimeWait {
+                self.time_wait_ticks += u64::from(self.ticks - self.time_wait_enter);
+                self.time_wait_enter = self.ticks;
+            }
+            self.send_ack(m, lb);
+            return;
+        }
+        if seq != self.rcv_nxt {
+            self.stats.rejected += 1;
+            self.send_ack(m, lb);
+            return;
+        }
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+        self.fin_rcvd = Some(seq);
+        self.stats.fins_received += 1;
+        match self.lifecycle {
+            State::Established | State::SynRcvd => self.set_state(State::CloseWait, obs),
+            State::FinWait1 => {
+                // Our own FIN already acknowledged → straight to
+                // TIME_WAIT; still in flight → simultaneous close.
+                if self.fin_in_flight() == 0 {
+                    self.set_state(State::TimeWait, obs);
+                } else {
+                    self.set_state(State::Closing, obs);
+                }
+            }
+            State::FinWait2 => self.set_state(State::TimeWait, obs),
+            _ => {}
+        }
+        self.touch_state(m);
+        self.send_ack(m, lb);
+    }
+
     /// Process an incoming cumulative ACK (and its SACK option, if
     /// any). Duplicate ACKs feed the fast-retransmit counter; forward
     /// ACKs advance the window, the RTT estimator and — outside
@@ -1312,6 +1849,16 @@ impl Connection {
                 self.cwnd = self.cwnd.saturating_add((mss * mss / self.cwnd).max(1));
             }
             self.cwnd = self.cwnd.min(u32::MAX / 4);
+        }
+        // Our FIN fully acknowledged: the send direction is done, move
+        // the machine (RFC 793 §3.9, "if our FIN is now acknowledged").
+        if self.fin_sent.is_some() && self.snd_una == self.snd_nxt {
+            match self.lifecycle {
+                State::FinWait1 => self.set_state(State::FinWait2, obs),
+                State::Closing => self.set_state(State::TimeWait, obs),
+                State::LastAck => self.set_state(State::Closed, obs),
+                _ => {}
+            }
         }
         self.touch_state(m);
         m.compute(20);
@@ -2077,5 +2624,294 @@ mod tests {
         assert!(!tx.can_send(100));
         assert_eq!(tx.send_buf(&mut m, &mut lb, src.base, 100), Err(SendError::BufferFull));
         let _ = &mut w;
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle / teardown
+    // ------------------------------------------------------------------
+
+    /// Poll and tick both ends until both lifecycle machines reach
+    /// `Closed` (or the round budget runs out).
+    fn drive_to_closed(w: &mut World, m: &mut NativeMem<'_>, rounds: usize) -> bool {
+        for _ in 0..rounds {
+            if w.tx.state() == State::Closed && w.rx.state() == State::Closed {
+                return true;
+            }
+            while w.rx.poll_input(m, &mut w.lb).is_some() {}
+            while w.tx.poll_input(m, &mut w.lb).is_some() {}
+            w.tx.tick(m, &mut w.lb);
+            w.rx.tick(m, &mut w.lb);
+        }
+        w.tx.state() == State::Closed && w.rx.state() == State::Closed
+    }
+
+    #[test]
+    fn clean_close_walks_the_rfc793_path_to_closed() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(w.src.base, 100).copy_from_slice(&[3u8; 100]);
+        transfer(&mut w, &mut m, 100);
+        w.tx.close(&mut m, &mut w.lb);
+        assert_eq!(w.tx.state(), State::FinWait1);
+        assert_eq!(w.tx.fin_sent_seq(), Some(1100), "the FIN sits after the 100 data bytes");
+        assert_eq!(w.tx.in_flight(), 1, "the FIN consumes one sequence number");
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.rx.state(), State::CloseWait, "peer FIN consumed in order");
+        assert_eq!(w.rx.fin_rcvd_seq(), Some(1100));
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.tx.state(), State::FinWait2, "our FIN is acknowledged");
+        w.rx.close(&mut m, &mut w.lb);
+        assert_eq!(w.rx.state(), State::LastAck);
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.tx.state(), State::TimeWait);
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.rx.state(), State::Closed, "LAST_ACK dies on the final ACK");
+        // TIME_WAIT holds for the full 2·MSL quiet period, then dies.
+        for _ in 0..2 * MSL_TICKS - 1 {
+            w.tx.tick(&mut m, &mut w.lb);
+        }
+        assert_eq!(w.tx.state(), State::TimeWait);
+        w.tx.tick(&mut m, &mut w.lb);
+        assert_eq!(w.tx.state(), State::Closed);
+        assert_eq!(w.tx.time_wait_residency(), u64::from(2 * MSL_TICKS));
+        assert_eq!((w.tx.stats.fins_sent, w.tx.stats.fins_received), (1, 1));
+        assert_eq!((w.rx.stats.fins_sent, w.rx.stats.fins_received), (1, 1));
+        assert_eq!(w.tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn simultaneous_close_crosses_through_closing() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        w.tx.close(&mut m, &mut w.lb);
+        w.rx.close(&mut m, &mut w.lb);
+        assert_eq!((w.tx.state(), w.rx.state()), (State::FinWait1, State::FinWait1));
+        // The FINs crossed in flight: consuming the peer's FIN while our
+        // own is unacked lands in CLOSING, not CLOSE_WAIT.
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.tx.state(), State::Closing);
+        // The peer drains its queue in one go — the crossed FIN (→
+        // CLOSING) and then our ACK of its FIN (→ TIME_WAIT).
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.rx.state(), State::TimeWait);
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.tx.state(), State::TimeWait);
+        assert!(drive_to_closed(&mut w, &mut m, 100), "both quiet periods expire");
+    }
+
+    #[test]
+    fn half_closed_peer_still_streams_until_its_own_close() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        w.tx.close(&mut m, &mut w.lb);
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!((w.tx.state(), w.rx.state()), (State::FinWait2, State::CloseWait));
+        // CLOSE_WAIT may still send; FIN_WAIT_2 still accepts and ACKs.
+        for round in 0..3u8 {
+            m.bytes_mut(w.src.base, 60).copy_from_slice(&[round; 60]);
+            w.rx.send_buf(&mut m, &mut w.lb, w.src.base, 60).unwrap();
+            let d = w.tx.poll_input(&mut m, &mut w.lb).expect("data drains into FIN_WAIT_2");
+            let sum = checksum_buf(&mut m, d.payload_addr, d.payload_len);
+            w.tx.finish_recv(&mut m, &mut w.lb, &d, sum).unwrap();
+            while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        }
+        assert_eq!(w.tx.stats.accepted, 3, "half-closed drain delivered");
+        w.rx.close(&mut m, &mut w.lb);
+        assert_eq!(w.rx.state(), State::LastAck);
+        assert!(drive_to_closed(&mut w, &mut m, 200));
+        assert_eq!(w.rx.stats.fins_sent, 1);
+    }
+
+    #[test]
+    fn lost_fin_is_retransmitted_by_the_timer() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        w.lb.set_faults(FaultPlan { drop_every: 1, ..Default::default() });
+        w.tx.close(&mut m, &mut w.lb); // the FIN evaporates
+        w.lb.set_faults(FaultPlan::default());
+        assert_eq!(w.tx.state(), State::FinWait1);
+        assert!(w.rx.poll_input(&mut m, &mut w.lb).is_none());
+        assert_eq!(w.rx.state(), State::Established, "peer saw nothing");
+        let before = w.tx.stats.retransmits;
+        let mut recovered = false;
+        for _ in 0..200 {
+            w.tx.tick(&mut m, &mut w.lb);
+            while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+            if w.rx.state() == State::CloseWait {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "the retransmitted FIN must land");
+        assert!(w.tx.stats.retransmits > before, "the timer re-sent the FIN");
+        assert_eq!(w.rx.stats.fins_received, 1);
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        w.rx.close(&mut m, &mut w.lb);
+        assert!(drive_to_closed(&mut w, &mut m, 200));
+    }
+
+    #[test]
+    fn abort_resets_the_peer_and_dead_connections_answer_with_rst() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(w.src.base, 80).copy_from_slice(&[5u8; 80]);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 80).unwrap();
+        w.rx.abort(&mut m, &mut w.lb);
+        assert_eq!(w.rx.state(), State::Closed);
+        assert_eq!(w.rx.stats.resets_sent, 1);
+        // The RST lands on the sender: teardown is total.
+        assert!(w.tx.poll_input(&mut m, &mut w.lb).is_none());
+        assert_eq!(w.tx.state(), State::Closed);
+        assert_eq!(w.tx.stats.resets_received, 1);
+        assert_eq!(w.tx.in_flight(), 0, "nothing left to retransmit");
+        // The unread data still sits in the dead connection's queue;
+        // the closed machine answers it with a RST of its own…
+        assert!(w.rx.poll_input(&mut m, &mut w.lb).is_none());
+        assert_eq!(w.rx.stats.resets_sent, 2);
+        // …which the already-closed sender drops (never RST a RST).
+        assert!(w.tx.poll_input(&mut m, &mut w.lb).is_none());
+        assert_eq!(w.tx.stats.resets_sent, 0);
+        assert_eq!(w.tx.state(), State::Closed);
+    }
+
+    #[test]
+    fn time_wait_ignores_rst_and_restarts_on_retransmitted_fin() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        w.tx.close(&mut m, &mut w.lb);
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        w.rx.close(&mut m, &mut w.lb);
+        // Drop the ACK of the peer's FIN so the peer must retransmit it.
+        w.lb.set_faults(FaultPlan { drop_every: 1, ..Default::default() });
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        w.lb.set_faults(FaultPlan::default());
+        assert_eq!((w.tx.state(), w.rx.state()), (State::TimeWait, State::LastAck));
+        // Part-way through the quiet period the retransmitted FIN
+        // arrives: TIME_WAIT re-ACKs it and restarts the 2·MSL clock.
+        for _ in 0..MSL_TICKS {
+            w.tx.tick(&mut m, &mut w.lb);
+            w.rx.tick(&mut m, &mut w.lb);
+        }
+        assert_eq!(w.tx.state(), State::TimeWait);
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.rx.state(), State::Closed, "re-ACK releases LAST_ACK");
+        // A stray in-window RST must NOT cut the quiet period short.
+        w.rx.lifecycle = State::Established; // puppet the dead peer into a RST
+        w.rx.abort(&mut m, &mut w.lb);
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        assert_eq!(w.tx.state(), State::TimeWait, "TIME_WAIT ignores RSTs");
+        assert_eq!(w.tx.stats.resets_received, 0);
+        // The restarted quiet period runs its full 2·MSL course.
+        for _ in 0..2 * MSL_TICKS - 1 {
+            w.tx.tick(&mut m, &mut w.lb);
+        }
+        assert_eq!(w.tx.state(), State::TimeWait);
+        w.tx.tick(&mut m, &mut w.lb);
+        assert_eq!(w.tx.state(), State::Closed);
+        assert!(
+            w.tx.time_wait_residency() > u64::from(2 * MSL_TICKS),
+            "the restart accumulated extra residency"
+        );
+    }
+
+    #[test]
+    fn send_after_close_is_a_distinct_permanent_error_in_every_shut_state() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        for state in State::ALL {
+            w.tx.lifecycle = state;
+            if state.may_send_data() {
+                assert!(w.tx.can_send(64), "{state:?} must allow sends");
+                w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 64).unwrap();
+            } else {
+                assert!(!w.tx.can_send(64), "{state:?} must refuse sends");
+                assert_eq!(
+                    w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 64),
+                    Err(SendError::Closing),
+                    "{state:?} must report Closing, not transient back-pressure"
+                );
+                assert!(matches!(w.tx.begin_ilp_send(64), Err(SendError::Closing)));
+            }
+        }
+    }
+
+    #[test]
+    fn data_after_fin_is_dropped_unless_the_bug_is_injected() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        // Stage the receiver as if the peer's FIN was consumed at 1000.
+        w.rx.fin_rcvd = Some(1000);
+        w.rx.rcv_nxt = 1001;
+        w.rx.lifecycle = State::CloseWait;
+        m.bytes_mut(w.src.base, 50).copy_from_slice(&[8u8; 50]);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 50).unwrap();
+        assert!(w.rx.poll_input(&mut m, &mut w.lb).is_none(), "post-FIN data never surfaces");
+        assert_eq!(w.rx.rcv_nxt, 1001, "rcv_nxt stays pinned at fin+1");
+        assert_eq!((w.rx.stats.accepted, w.rx.stats.rejected), (0, 1));
+        // With the deliberate bug re-injected the same traffic is
+        // swallowed — exactly the corruption the lifecycle oracles pin.
+        w.rx.inject_accept_after_fin_bug(true);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 50).unwrap();
+        assert!(w.rx.poll_input(&mut m, &mut w.lb).is_none());
+        assert_eq!(w.rx.stats.accepted, 1, "bug: accepted moved after the FIN");
+        assert_ne!(w.rx.rcv_nxt, 1001, "bug: rcv_nxt left fin+1");
+    }
+
+    #[test]
+    fn reopen_runs_a_fresh_transfer_over_the_same_regions() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(w.src.base, 100).copy_from_slice(&[1u8; 100]);
+        transfer(&mut w, &mut m, 100);
+        w.tx.close(&mut m, &mut w.lb);
+        while w.rx.poll_input(&mut m, &mut w.lb).is_some() {}
+        while w.tx.poll_input(&mut m, &mut w.lb).is_some() {}
+        w.rx.close(&mut m, &mut w.lb);
+        assert!(drive_to_closed(&mut w, &mut m, 200));
+        // The arena is long since fixed: reopen must not allocate.
+        w.tx.reopen(&mut w.lb, 71_000);
+        w.rx.reopen(&mut w.lb, 95_000);
+        w.tx.set_peer_iss(95_000);
+        w.rx.set_peer_iss(71_000);
+        assert_eq!((w.tx.state(), w.rx.state()), (State::Established, State::Established));
+        m.bytes_mut(w.src.base, 100).copy_from_slice(&[2u8; 100]);
+        let got = transfer(&mut w, &mut m, 100);
+        assert_eq!(got, vec![2u8; 100]);
+        assert_eq!(w.rx.stats.accepted, 2, "stats stay cumulative across incarnations");
+        assert_eq!(w.rx.stats.fins_sent, 1);
+        assert_eq!(w.tx.fin_sent_seq(), None, "teardown state reset");
+    }
+
+    #[test]
+    fn unregistered_port_makes_new_arrivals_unroutable() {
+        let mut w = world();
+        let mut arena = w.space.native_arena();
+        let mut m = NativeMem::new(&mut arena);
+        m.bytes_mut(w.src.base, 40).copy_from_slice(&[4u8; 40]);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 40).unwrap();
+        KernelPart::unregister(&mut w.lb, 2000);
+        // The already-queued datagram stays readable through the old
+        // endpoint handle…
+        let d = w.rx.poll_input(&mut m, &mut w.lb).expect("queued before release");
+        assert!(w.rx.verify_checksum(&mut m, &d));
+        let sum = checksum_buf(&mut m, d.payload_addr, d.payload_len);
+        w.rx.finish_recv(&mut m, &mut w.lb, &d, sum).unwrap();
+        // …but a fresh arrival has no route.
+        m.bytes_mut(w.src.base, 40).copy_from_slice(&[6u8; 40]);
+        w.tx.send_buf(&mut m, &mut w.lb, w.src.base, 40).unwrap();
+        assert!(w.rx.poll_input(&mut m, &mut w.lb).is_none());
+        assert_eq!(KernelPart::counters(&w.lb).unroutable, 1);
     }
 }

@@ -355,6 +355,17 @@ impl Loopback {
         EndpointId(id)
     }
 
+    /// Release a port registration so a later [`Loopback::register`]
+    /// can reuse the port. The endpoint slot itself is retained —
+    /// outstanding [`EndpointId`] handles stay valid for draining
+    /// whatever was queued before the release — but the demultiplexer
+    /// forgets the port, so new arrivals count as unroutable until the
+    /// port is registered again. Unregistering a port that is not
+    /// registered is a no-op (teardown is idempotent).
+    pub fn unregister(&mut self, port: u16) {
+        self.by_port.remove(&port);
+    }
+
     /// The port an endpoint was registered on.
     pub fn port_of(&self, id: EndpointId) -> u16 {
         self.endpoints[id.0].port

@@ -53,7 +53,7 @@ pub mod rng;
 pub mod wire;
 
 pub use backend::{KernelCounters, KernelPart};
-pub use conn::{Connection, Delivered, SendError, UtcpConfig};
+pub use conn::{Connection, Delivered, SendError, State, UtcpConfig, MSL_TICKS};
 pub use kernelpart::{Datagram, EndpointId, FaultDice, FaultPlan, FaultProbs, Loopback};
 pub use ring::{RingWriter, SendRing};
 pub use ip::{Ipv4Header, IP_HEADER_LEN};

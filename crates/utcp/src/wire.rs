@@ -91,6 +91,14 @@ impl TcpFlags {
     pub const DATA: TcpFlags = TcpFlags(0x18);
     /// Handshake reply: SYN|ACK.
     pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+    /// No more data from sender (consumes one sequence number).
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// Reset the connection (consumes no sequence number).
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// Teardown segment: FIN|ACK — a zero-payload fixed-header TPDU,
+    /// so FIN stays inside the paper's fixed data-TPDU header
+    /// discipline.
+    pub const FIN_ACK: TcpFlags = TcpFlags(0x11);
 
     /// Whether all bits of `other` are set in `self`.
     pub fn contains(self, other: TcpFlags) -> bool {

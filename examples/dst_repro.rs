@@ -9,6 +9,7 @@
 //! cargo run --release --offline --example dst_repro -- 0x11f95007 --inject-ring-bug
 //! cargo run --release --offline --example dst_repro -- --fast-retransmit
 //! cargo run --release --offline --example dst_repro -- --sack-holes
+//! cargo run --release --offline --example dst_repro -- --teardown [SEED] [--inject-fin-bug]
 //! ```
 //!
 //! The second form re-introduces the historical send-ring saturated-
@@ -16,12 +17,21 @@
 //! when an oracle fires: the failure message, the shrunk scenario, and
 //! a ready-to-paste `#[test]` reproducer.
 //!
-//! The last two forms replay the pinned loss-recovery worlds: one
-//! mid-transfer drop repaired by a single fast retransmission (~1 RTT,
-//! no RTO), and a two-segment burst whose holes SACK + NewReno partial
-//! ACKs fill without the timer. Both run under the full per-tick
-//! oracle set on the ILP and non-ILP paths, check the observed ≡
-//! unobserved twins, and print a pasteable `#[test]`.
+//! `--fast-retransmit` and `--sack-holes` replay the pinned
+//! loss-recovery worlds: one mid-transfer drop repaired by a single
+//! fast retransmission (~1 RTT, no RTO), and a two-segment burst whose
+//! holes SACK + NewReno partial ACKs fill without the timer. Both run
+//! under the full per-tick oracle set on the ILP and non-ILP paths,
+//! check the observed ≡ unobserved twins, and print a pasteable
+//! `#[test]`.
+//!
+//! `--teardown` runs the connection-lifecycle sweep: the six pinned
+//! teardown worlds (clean close, simultaneous close, half-closed drain,
+//! lost FIN, RST storm, stale data after FIN), then 200 seeded
+//! teardown-under-fault worlds, each under the legal-transition /
+//! post-FIN-freeze / liveness oracles. On failure it shrinks the
+//! spec and prints a pasteable `#[test]`; `--inject-fin-bug` arms the
+//! accept-after-FIN mutation and demonstrates the sweep catching it.
 
 use sim::recovery::{
     burst_drop, burst_drop_config, single_drop, single_drop_config, twins_agree, RecoveryOutcome,
@@ -77,12 +87,48 @@ fn replay_recovery(
     std::process::ExitCode::SUCCESS
 }
 
+/// Run the lifecycle sweep (pinned teardown worlds + seeded ones) and
+/// print what CI would: the report, or the shrunk reproducer.
+fn replay_teardown(base_seed: u64, inject_fin_bug: bool) -> std::process::ExitCode {
+    if inject_fin_bug {
+        println!("accept-after-FIN mutation armed — the sweep must fail\n");
+    }
+    let rep = sim::sweep_teardown(base_seed, 200, inject_fin_bug);
+    match rep.failure {
+        None => {
+            println!(
+                "teardown sweep all green: {} pinned + seeded worlds, {} seeded specs, \
+                 {} oracle checks",
+                rep.passed, rep.seeds_run, rep.oracle_checks
+            );
+            std::process::ExitCode::SUCCESS
+        }
+        Some((shrunk, message, test_case)) => {
+            println!("lifecycle oracle failure: {message}\n");
+            if test_case.is_empty() {
+                println!("(a pinned world failed — it already is a committed test)");
+            } else {
+                println!("minimal spec: {shrunk:?}\n");
+                println!("{test_case}");
+            }
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let mut seed = 0x11F9_5007u64;
     let mut opts = RunOptions::default();
+    let mut teardown = false;
+    let mut inject_fin_bug = false;
     for a in std::env::args().skip(1) {
         match (a.as_str(), parse_u64(&a)) {
             ("--inject-ring-bug", _) => opts.inject_ring_bug = true,
+            ("--inject-fin-bug", _) => inject_fin_bug = true,
+            ("--teardown", _) => {
+                teardown = true;
+                seed = 0x7EAF_0000;
+            }
             ("--fast-retransmit", _) => {
                 return replay_recovery("single_drop", single_drop, single_drop_config);
             }
@@ -92,11 +138,15 @@ fn main() -> std::process::ExitCode {
             (_, Some(s)) => seed = s,
             _ => {
                 eprintln!(
-                    "usage: dst_repro [SEED] [--inject-ring-bug | --fast-retransmit | --sack-holes]"
+                    "usage: dst_repro [SEED] [--inject-ring-bug | --fast-retransmit | \
+                     --sack-holes | --teardown [SEED] [--inject-fin-bug]]"
                 );
                 return std::process::ExitCode::FAILURE;
             }
         }
+    }
+    if teardown {
+        return replay_teardown(seed, inject_fin_bug);
     }
 
     let sc = Scenario::from_seed(seed);

@@ -26,7 +26,7 @@ use ilp_repro::server::pipeline::{
     recv_chunk_ilp, recv_chunk_non_ilp, send_chunk_ilp, send_chunk_non_ilp, Scratch,
 };
 use ilp_repro::utcp::rng::XorShift64;
-use ilp_repro::utcp::{Connection, SendError, UtcpConfig};
+use ilp_repro::utcp::{Connection, SendError, State, UtcpConfig};
 use netback::UdpBackend;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -80,10 +80,16 @@ impl PathSel {
 
 fn usage() -> ExitCode {
     eprintln!("usage: serve_udp probe");
-    eprintln!("       serve_udp serve <bind-addr> [--path ilp|non_ilp] [--out FILE] [--addr-file FILE]");
-    eprintln!("       serve_udp fetch <server-addr> [--path ilp|non_ilp] [--bytes N] [--quiet]");
-    eprintln!("       serve_udp selftest [--bytes N]");
+    eprintln!("       serve_udp serve <bind-addr> [--path ilp|non_ilp] [--out FILE] [--addr-file FILE] [--waves N]");
+    eprintln!("       serve_udp fetch <server-addr> [--path ilp|non_ilp] [--bytes N] [--waves N] [--quiet]");
+    eprintln!("       serve_udp selftest [--bytes N] [--waves N]");
     ExitCode::FAILURE
+}
+
+/// Per-wave initial sequence numbers, derivable on both sides without a
+/// side channel: each churn wave opens a fresh sequence space.
+fn wave_iss(base: u32, wave: usize) -> u32 {
+    base.wrapping_add((wave as u32) << 20)
 }
 
 /// Can this environment bind a UDP socket at all?
@@ -112,6 +118,7 @@ struct Args {
     out: Option<String>,
     addr_file: Option<String>,
     bytes: usize,
+    waves: usize,
     quiet: bool,
 }
 
@@ -121,6 +128,7 @@ fn parse_flags(mut rest: std::env::Args) -> Option<Args> {
         out: None,
         addr_file: None,
         bytes: DEFAULT_BYTES,
+        waves: 1,
         quiet: false,
     };
     while let Some(flag) = rest.next() {
@@ -129,6 +137,7 @@ fn parse_flags(mut rest: std::env::Args) -> Option<Args> {
             "--out" => a.out = Some(rest.next()?),
             "--addr-file" => a.addr_file = Some(rest.next()?),
             "--bytes" => a.bytes = rest.next()?.parse().ok().filter(|&n| n <= MAX_FILE)?,
+            "--waves" => a.waves = rest.next()?.parse().ok().filter(|&n| (1..=64).contains(&n))?,
             "--quiet" => a.quiet = true,
             _ => return None,
         }
@@ -179,42 +188,88 @@ fn serve(bind: &str, a: &Args) -> ExitCode {
     }
 
     let deadline = Instant::now() + DEADLINE;
-    let mut total: Option<usize> = None;
     let mut chunks = 0u64;
-    while Instant::now() < deadline {
-        let got = match a.path {
-            PathSel::Ilp => recv_chunk_ilp(&scratch, cipher, &mut m, &mut rx, &mut net, app_out),
-            PathSel::NonIlp => {
-                recv_chunk_non_ilp(&scratch, &cipher, &mut m, &mut rx, &mut net, app_out)
-            }
-        };
-        match got {
-            Some(Ok(meta)) => {
-                chunks += 1;
-                if meta.last == 1 {
-                    // In-order TCP delivery: accepting the last chunk
-                    // means every earlier byte is already in app_out.
-                    total = Some((meta.offset + meta.data_len) as usize);
-                    break;
+    let mut data = Vec::new();
+    for wave in 0..a.waves {
+        if wave > 0 {
+            // The previous wave finished fully Closed, so the port and
+            // sequence books can be recycled — the churn primitive.
+            rx.reopen(&mut net, wave_iss(SERVER_ISS, wave));
+            rx.set_peer_iss(wave_iss(CLIENT_ISS, wave));
+        }
+        let mut total: Option<usize> = None;
+        while Instant::now() < deadline {
+            let got = match a.path {
+                PathSel::Ilp => {
+                    recv_chunk_ilp(&scratch, cipher, &mut m, &mut rx, &mut net, app_out)
                 }
+                PathSel::NonIlp => {
+                    recv_chunk_non_ilp(&scratch, &cipher, &mut m, &mut rx, &mut net, app_out)
+                }
+            };
+            match got {
+                Some(Ok(meta)) => {
+                    chunks += 1;
+                    if meta.last == 1 {
+                        // In-order TCP delivery: accepting the last chunk
+                        // means every earlier byte is already in app_out.
+                        total = Some((meta.offset + meta.data_len) as usize);
+                        break;
+                    }
+                }
+                Some(Err(_)) => {} // rejected (e.g. retransmit of an acked seq); sender retries
+                None => std::thread::sleep(Duration::from_micros(200)),
             }
-            Some(Err(_)) => {} // rejected (e.g. retransmit of an acked seq); sender retries
-            None => std::thread::sleep(Duration::from_micros(200)),
+        }
+        let Some(total) = total else {
+            eprintln!("serve_udp: wave {wave} timed out before the final chunk arrived");
+            return ExitCode::FAILURE;
+        };
+        data = m.bytes(app_out.base, total).to_vec();
+        // Passive close: keep servicing input so the client's FIN moves
+        // us to CLOSE_WAIT (and any late data retransmit is re-ACKed),
+        // answer with our own FIN (LAST_ACK), and wait for the final ACK.
+        let mut last_tick = Instant::now();
+        while rx.state() != State::Closed && Instant::now() < deadline {
+            let _ = match a.path {
+                PathSel::Ilp => {
+                    recv_chunk_ilp(&scratch, cipher, &mut m, &mut rx, &mut net, app_out)
+                }
+                PathSel::NonIlp => {
+                    recv_chunk_non_ilp(&scratch, &cipher, &mut m, &mut rx, &mut net, app_out)
+                }
+            };
+            if rx.state() == State::CloseWait {
+                rx.close(&mut m, &mut net); // nothing more to send back
+            }
+            if last_tick.elapsed() >= Duration::from_millis(2) {
+                rx.tick(&mut m, &mut net);
+                last_tick = Instant::now();
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if rx.state() != State::Closed {
+            eprintln!("serve_udp: wave {wave} timed out in {:?} before Closed", rx.state());
+            return ExitCode::FAILURE;
         }
     }
-    let Some(total) = total else {
-        eprintln!("serve_udp: timed out before the final chunk arrived");
-        return ExitCode::FAILURE;
-    };
-    let data = m.bytes(app_out.base, total).to_vec();
     if let Some(f) = &a.out {
         if std::fs::write(f, &data).is_err() {
             eprintln!("serve_udp: cannot write {f}");
             return ExitCode::FAILURE;
         }
     }
+    let closes = rx.stats.fins_sent;
+    if closes != a.waves as u64 || rx.stats.fins_received != a.waves as u64 {
+        eprintln!(
+            "serve_udp: expected {} FIN exchanges, saw {} sent / {} received",
+            a.waves, closes, rx.stats.fins_received
+        );
+        return ExitCode::FAILURE;
+    }
     println!(
-        "serve_udp: received {total} bytes in {chunks} chunks over {}, fnv1a64={:016x}",
+        "serve_udp: received {} bytes in {chunks} chunks over {}, {closes} closes, fnv1a64={:016x}",
+        data.len(),
         a.path.name(),
         fnv1a64(&data)
     );
@@ -255,61 +310,94 @@ fn fetch(server: &str, a: &Args) -> ExitCode {
     m.bytes_mut(file.base, data.len()).copy_from_slice(&data);
 
     let deadline = Instant::now() + DEADLINE;
-    let mut offset = 0usize;
-    let mut seq = 0u32;
-    let mut last_tick = Instant::now();
-    while Instant::now() < deadline {
-        if offset < a.bytes {
-            let len = CHUNK.min(a.bytes - offset);
-            let meta = ReplyMeta {
-                request_id: REQUEST_ID,
-                seq,
-                offset: offset as u32,
-                last: u32::from(offset + len == a.bytes),
-                data_len: len as u32,
-            };
-            let sent = match a.path {
-                PathSel::Ilp => send_chunk_ilp(
-                    &scratch, cipher, &mut m, &mut tx, &mut net, &meta, file.at(offset),
-                ),
-                PathSel::NonIlp => send_chunk_non_ilp(
-                    &scratch, &cipher, &mut m, &mut tx, &mut net, &meta, file.at(offset),
-                ),
-            };
-            match sent {
-                Ok(_) => {
-                    offset += len;
-                    seq += 1;
+    let mut sent_chunks = 0u32;
+    for wave in 0..a.waves {
+        if wave > 0 {
+            tx.reopen(&mut net, wave_iss(CLIENT_ISS, wave));
+            tx.set_peer_iss(wave_iss(SERVER_ISS, wave));
+        }
+        let mut offset = 0usize;
+        let mut seq = 0u32;
+        let mut last_tick = Instant::now();
+        while Instant::now() < deadline {
+            if offset < a.bytes {
+                let len = CHUNK.min(a.bytes - offset);
+                let meta = ReplyMeta {
+                    request_id: REQUEST_ID,
+                    seq,
+                    offset: offset as u32,
+                    last: u32::from(offset + len == a.bytes),
+                    data_len: len as u32,
+                };
+                let sent = match a.path {
+                    PathSel::Ilp => send_chunk_ilp(
+                        &scratch, cipher, &mut m, &mut tx, &mut net, &meta, file.at(offset),
+                    ),
+                    PathSel::NonIlp => send_chunk_non_ilp(
+                        &scratch, &cipher, &mut m, &mut tx, &mut net, &meta, file.at(offset),
+                    ),
+                };
+                match sent {
+                    Ok(_) => {
+                        offset += len;
+                        seq += 1;
+                    }
+                    Err(SendError::TooLarge { len, mtu }) => {
+                        eprintln!("serve_udp: chunk of {len} exceeds MTU {mtu}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(_) => {} // ring or window backpressure: drain ACKs below
                 }
-                Err(SendError::TooLarge { len, mtu }) => {
-                    eprintln!("serve_udp: chunk of {len} exceeds MTU {mtu}");
-                    return ExitCode::FAILURE;
-                }
-                Err(_) => {} // ring or window backpressure: drain ACKs below
+            } else if tx.in_flight() == 0 {
+                break;
             }
-        } else if tx.in_flight() == 0 {
-            break;
+            while tx.poll_input(&mut m, &mut net).is_some() {}
+            // Wall-clock retransmission clock, in case 127.0.0.1 ever drops.
+            if last_tick.elapsed() >= Duration::from_millis(20) {
+                tx.tick(&mut m, &mut net);
+                last_tick = Instant::now();
+            }
+            std::thread::sleep(Duration::from_micros(200));
         }
-        while tx.poll_input(&mut m, &mut net).is_some() {}
-        // Wall-clock retransmission clock, in case 127.0.0.1 ever drops.
-        if last_tick.elapsed() >= Duration::from_millis(20) {
-            tx.tick(&mut m, &mut net);
-            last_tick = Instant::now();
+        if offset < a.bytes || tx.in_flight() > 0 {
+            eprintln!(
+                "serve_udp: wave {wave} timed out with {offset}/{} bytes pushed, {} in flight",
+                a.bytes,
+                tx.in_flight()
+            );
+            return ExitCode::FAILURE;
         }
-        std::thread::sleep(Duration::from_micros(200));
+        sent_chunks += seq;
+        // Active close: our FIN moves us through FIN_WAIT, the server's
+        // FIN lands us in TIME_WAIT, and the 2·MSL quiet period (ticked
+        // fast — the virtual clock owns the duration, not the wall) ends
+        // in Closed, at which point the port is reusable.
+        tx.close(&mut m, &mut net);
+        while tx.state() != State::Closed && Instant::now() < deadline {
+            while tx.poll_input(&mut m, &mut net).is_some() {}
+            if last_tick.elapsed() >= Duration::from_millis(2) {
+                tx.tick(&mut m, &mut net);
+                last_tick = Instant::now();
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if tx.state() != State::Closed {
+            eprintln!("serve_udp: wave {wave} timed out in {:?} before Closed", tx.state());
+            return ExitCode::FAILURE;
+        }
     }
-    if offset < a.bytes || tx.in_flight() > 0 {
+    if tx.stats.fins_sent != a.waves as u64 || tx.stats.fins_received != a.waves as u64 {
         eprintln!(
-            "serve_udp: timed out with {offset}/{} bytes pushed, {} in flight",
-            a.bytes,
-            tx.in_flight()
+            "serve_udp: expected {} FIN exchanges, saw {} sent / {} received",
+            a.waves, tx.stats.fins_sent, tx.stats.fins_received
         );
         return ExitCode::FAILURE;
     }
     println!(
-        "serve_udp: sent {} bytes in {seq} chunks over {}, fnv1a64={:016x}",
-        a.bytes,
+        "serve_udp: sent {} bytes in {sent_chunks} chunks over {}, {} closes, fnv1a64={:016x}",
+        a.bytes * a.waves,
         a.path.name(),
+        tx.stats.fins_sent,
         fnv1a64(&data)
     );
     ExitCode::SUCCESS
@@ -350,6 +438,8 @@ fn selftest(a: &Args) -> ExitCode {
                 out.to_str().unwrap(),
                 "--addr-file",
                 addr_file.to_str().unwrap(),
+                "--waves",
+                &a.waves.to_string(),
             ])
             .spawn()
         {
@@ -375,7 +465,16 @@ fn selftest(a: &Args) -> ExitCode {
             std::thread::sleep(Duration::from_millis(5));
         };
         let client = std::process::Command::new(&exe)
-            .args(["fetch", addr.trim(), "--path", path.name(), "--bytes", &a.bytes.to_string()])
+            .args([
+                "fetch",
+                addr.trim(),
+                "--path",
+                path.name(),
+                "--bytes",
+                &a.bytes.to_string(),
+                "--waves",
+                &a.waves.to_string(),
+            ])
             .status();
         let client_ok = matches!(client, Ok(s) if s.success());
         let server_ok = loop {
@@ -408,7 +507,12 @@ fn selftest(a: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
         digests.push(fnv1a64(&got));
-        println!("serve_udp: {} transfer ok ({} bytes, two processes)", path.name(), got.len());
+        println!(
+            "serve_udp: {} transfer ok ({} bytes, {} wave(s), two processes)",
+            path.name(),
+            got.len(),
+            a.waves
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
     if digests.windows(2).any(|w| w[0] != w[1]) {

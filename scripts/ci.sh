@@ -62,6 +62,10 @@ cargo build -q --release --offline --example serve_udp
 if ./target/release/examples/serve_udp probe; then
     # Hard timeout: a wedged socket path must fail CI, not hang it.
     timeout 120 ./target/release/examples/serve_udp selftest
+    # Churn: three connect→transfer→close waves per path over the same
+    # two processes — every wave runs the full FIN/ACK handshake and
+    # drains TIME_WAIT before the port is re-registered.
+    timeout 120 ./target/release/examples/serve_udp selftest --waves 3 --bytes 8192
 else
     echo "UDP sockets unavailable in this environment; skipping the socket smoke test"
 fi
@@ -96,6 +100,20 @@ cargo run -q --release --offline -p bench --bin check_report -- BENCH_loss.json 
     points.3.paths.non_ilp.rounds:num \
     baseline_1pct.rto_only_rounds:num baseline_1pct.recovery_rounds:num \
     baseline_1pct.recovery_beats_rto_only:bool
+
+echo "== churn: lifecycle waves (connect→transfer→close) + teardown sweep, schema-check its report =="
+cargo run -q --release --offline -p bench --bin exp_churn
+cargo run -q --release --offline -p bench --bin check_report -- BENCH_churn.json \
+    experiment:str seed:num waves:num conns:num file_len:num drop_prob:num \
+    paths.ilp.closes_completed:num paths.ilp.time_wait_ticks:num \
+    paths.ilp.ports_recycled:num paths.ilp.rounds_to_quiescence:num \
+    paths.ilp.rounds_total:num paths.ilp.payload_bytes:num \
+    paths.ilp.retransmits:num paths.ilp.oracle_checks:num \
+    paths.ilp.closes_per_kround:num paths.non_ilp.closes_completed:num \
+    paths_agree:bool \
+    teardown_sweep.base_seed:num teardown_sweep.seeds:num \
+    teardown_sweep.passed:num teardown_sweep.oracle_checks:num \
+    teardown_sweep.all_green:bool
 
 echo "== segment tracing: critical-path decomposition, determinism, zero perturbation =="
 cargo run -q --release --offline -p bench --bin exp_segtrace
